@@ -1,0 +1,25 @@
+"""Shared conventions for the benchmark targets.
+
+Each ``bench_<id>.py`` regenerates one table or figure of the paper
+(DESIGN.md's per-experiment index) by invoking the matching experiment
+module, timing it under pytest-benchmark, printing the rendered table
+(visible with ``-s``), and persisting it to ``bench_results/<id>.txt``.
+
+``REPORT_SCALE`` is the workload scale relative to the paper's 2^27-tuple
+microbenchmarks; the device geometry is scaled identically (see
+``repro.gpusim.device.scaled_device``), so regime boundaries match paper
+scale.  Heavy sweeps use ``SWEEP_SCALE`` to keep wall time reasonable.
+"""
+
+from repro.bench.reporting import print_and_save
+
+REPORT_SCALE = 2.0 ** -9
+SWEEP_SCALE = 2.0 ** -10
+
+
+def run_and_report(benchmark, runner, scale):
+    """Benchmark one experiment run and persist its rendered table."""
+    result = benchmark.pedantic(runner, kwargs={"scale": scale}, rounds=1, iterations=1)
+    print_and_save(result)
+    assert result.rows, "experiment produced no rows"
+    return result

@@ -1,0 +1,14 @@
+"""abl01: lazy vs eager GFTR transform.
+
+Regenerates the experiment table into ``bench_results/abl01.txt``.
+Run: ``pytest benchmarks/bench_abl01.py --benchmark-only -s``
+"""
+
+from repro.bench.experiments import abl01
+
+from _common import REPORT_SCALE, run_and_report
+
+
+def test_abl01(benchmark):
+    result = run_and_report(benchmark, abl01.run, REPORT_SCALE)
+    assert result.findings["memory_saving"] > 1.5

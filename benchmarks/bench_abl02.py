@@ -1,0 +1,14 @@
+"""abl02: single vs double Merge Path pass.
+
+Regenerates the experiment table into ``bench_results/abl02.txt``.
+Run: ``pytest benchmarks/bench_abl02.py --benchmark-only -s``
+"""
+
+from repro.bench.experiments import abl02
+
+from _common import REPORT_SCALE, run_and_report
+
+
+def test_abl02(benchmark):
+    result = run_and_report(benchmark, abl02.run, REPORT_SCALE)
+    assert result.findings["match_phase_saving"] > 1.2

@@ -1,0 +1,14 @@
+"""abl03: partition fan-out sweep.
+
+Regenerates the experiment table into ``bench_results/abl03.txt``.
+Run: ``pytest benchmarks/bench_abl03.py --benchmark-only -s``
+"""
+
+from repro.bench.experiments import abl03
+
+from _common import REPORT_SCALE, run_and_report
+
+
+def test_abl03(benchmark):
+    result = run_and_report(benchmark, abl03.run, REPORT_SCALE)
+    assert result.findings["derived_regret"] < 0.35

@@ -1,0 +1,14 @@
+"""abl04: probe-side load balancing under skew.
+
+Regenerates the experiment table into ``bench_results/abl04.txt``.
+Run: ``pytest benchmarks/bench_abl04.py --benchmark-only -s``
+"""
+
+from repro.bench.experiments import abl04
+
+from _common import REPORT_SCALE, run_and_report
+
+
+def test_abl04(benchmark):
+    result = run_and_report(benchmark, abl04.run, REPORT_SCALE)
+    assert result.findings["skewed_penalty_without_balancing"] > 2.0

@@ -1,0 +1,14 @@
+"""agg01: grouped aggregation vs group cardinality.
+
+Regenerates the experiment table into ``bench_results/agg01.txt``.
+Run: ``pytest benchmarks/bench_agg01.py --benchmark-only -s``
+"""
+
+from repro.bench.experiments import agg01
+
+from _common import REPORT_SCALE, run_and_report
+
+
+def test_agg01(benchmark):
+    result = run_and_report(benchmark, agg01.run, REPORT_SCALE)
+    assert result.findings["part_wins_largest"] == 1.0

@@ -1,0 +1,14 @@
+"""agg02: grouped aggregation under skew.
+
+Regenerates the experiment table into ``bench_results/agg02.txt``.
+Run: ``pytest benchmarks/bench_agg02.py --benchmark-only -s``
+"""
+
+from repro.bench.experiments import agg02
+
+from _common import REPORT_SCALE, run_and_report
+
+
+def test_agg02(benchmark):
+    result = run_and_report(benchmark, agg02.run, REPORT_SCALE)
+    assert result.findings["part_agg_flatness"] < 1.3

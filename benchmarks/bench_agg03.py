@@ -1,0 +1,14 @@
+"""agg03: wide aggregations, GFTR vs GFUR folds.
+
+Regenerates the experiment table into ``bench_results/agg03.txt``.
+Run: ``pytest benchmarks/bench_agg03.py --benchmark-only -s``
+"""
+
+from repro.bench.experiments import agg03
+
+from _common import REPORT_SCALE, run_and_report
+
+
+def test_agg03(benchmark):
+    result = run_and_report(benchmark, agg03.run, REPORT_SCALE)
+    assert result.findings["gftr_wins_all_widths"] == 1.0

@@ -1,0 +1,14 @@
+"""agg04: aggregation across data types.
+
+Regenerates the experiment table into ``bench_results/agg04.txt``.
+Run: ``pytest benchmarks/bench_agg04.py --benchmark-only -s``
+"""
+
+from repro.bench.experiments import agg04
+
+from _common import REPORT_SCALE, run_and_report
+
+
+def test_agg04(benchmark):
+    result = run_and_report(benchmark, agg04.run, REPORT_SCALE)
+    assert result.findings["part_agg_wins_4b_keys"] == 1.0

@@ -1,0 +1,14 @@
+"""agg05: aggregation planner validation.
+
+Regenerates the experiment table into ``bench_results/agg05.txt``.
+Run: ``pytest benchmarks/bench_agg05.py --benchmark-only -s``
+"""
+
+from repro.bench.experiments import agg05
+
+from _common import REPORT_SCALE, run_and_report
+
+
+def test_agg05(benchmark):
+    result = run_and_report(benchmark, agg05.run, REPORT_SCALE)
+    assert result.findings["planner_accuracy"] >= 0.8

@@ -1,0 +1,14 @@
+"""agg06: TPC-H-shaped aggregations.
+
+Regenerates the experiment table into ``bench_results/agg06.txt``.
+Run: ``pytest benchmarks/bench_agg06.py --benchmark-only -s``
+"""
+
+from repro.bench.experiments import agg06
+
+from _common import REPORT_SCALE, run_and_report
+
+
+def test_agg06(benchmark):
+    result = run_and_report(benchmark, agg06.run, REPORT_SCALE)
+    assert result.findings["q1_hash_wins"] == 1.0

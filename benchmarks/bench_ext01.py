@@ -1,0 +1,14 @@
+"""ext01: out-of-core joins across the memory boundary.
+
+Regenerates the experiment table into ``bench_results/ext01.txt``.
+Run: ``pytest benchmarks/bench_ext01.py --benchmark-only -s``
+"""
+
+from repro.bench.experiments import ext01
+
+from _common import REPORT_SCALE, run_and_report
+
+
+def test_ext01(benchmark):
+    result = run_and_report(benchmark, ext01.run, REPORT_SCALE)
+    assert result.findings["in_memory_over_smallest_budget"] > 1.2

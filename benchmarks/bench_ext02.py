@@ -1,0 +1,14 @@
+"""ext02: fused join+aggregate vs unfused pipeline.
+
+Regenerates the experiment table into ``bench_results/ext02.txt``.
+Run: ``pytest benchmarks/bench_ext02.py --benchmark-only -s``
+"""
+
+from repro.bench.experiments import ext02
+
+from _common import REPORT_SCALE, run_and_report
+
+
+def test_ext02(benchmark):
+    result = run_and_report(benchmark, ext02.run, REPORT_SCALE)
+    assert result.findings["speedup_widest"] > 1.1

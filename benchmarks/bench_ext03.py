@@ -1,0 +1,15 @@
+"""ext03: cross-device validation (A100 vs RTX 3090).
+
+Regenerates the experiment table into ``bench_results/ext03.txt``.
+Run: ``pytest benchmarks/bench_ext03.py --benchmark-only -s``
+"""
+
+from repro.bench.experiments import ext03
+
+from _common import SWEEP_SCALE, run_and_report
+
+
+def test_ext03(benchmark):
+    result = run_and_report(benchmark, ext03.run, SWEEP_SCALE)
+    assert result.findings["phj_om_wins_both_devices"] == 1.0
+    assert result.findings["a100_faster_absolute"] == 1.0

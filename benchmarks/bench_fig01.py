@@ -1,0 +1,14 @@
+"""Figure 1: time breakdown for join processing (1.5G x 3G, wide).
+
+Regenerates the experiment table into ``bench_results/fig01.txt``.
+Run: ``pytest benchmarks/bench_fig01.py --benchmark-only -s``
+"""
+
+from repro.bench.experiments import fig01
+
+from _common import REPORT_SCALE, run_and_report
+
+
+def test_fig01(benchmark):
+    result = run_and_report(benchmark, fig01.run, REPORT_SCALE)
+    assert result.findings["phj_om_speedup_over_phj_um"] > 1.5

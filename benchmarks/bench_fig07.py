@@ -1,0 +1,14 @@
+"""Figure 7: clustered vs unclustered GATHER with transform cost.
+
+Regenerates the experiment table into ``bench_results/fig07.txt``.
+Run: ``pytest benchmarks/bench_fig07.py --benchmark-only -s``
+"""
+
+from repro.bench.experiments import fig07
+
+from _common import REPORT_SCALE, run_and_report
+
+
+def test_fig07(benchmark):
+    result = run_and_report(benchmark, fig07.run, REPORT_SCALE)
+    assert result.findings["A100_partition_speedup"] > 1.3

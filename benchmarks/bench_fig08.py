@@ -1,0 +1,14 @@
+"""Figure 8: CPU- and GPU-based narrow joins.
+
+Regenerates the experiment table into ``bench_results/fig08.txt``.
+Run: ``pytest benchmarks/bench_fig08.py --benchmark-only -s``
+"""
+
+from repro.bench.experiments import fig08
+
+from _common import SWEEP_SCALE, run_and_report
+
+
+def test_fig08(benchmark):
+    result = run_and_report(benchmark, fig08.run, SWEEP_SCALE)
+    assert result.findings["max_gpu_speedup_over_cpu"] > 10

@@ -1,0 +1,14 @@
+"""Figure 9: time breakdown of narrow joins.
+
+Regenerates the experiment table into ``bench_results/fig09.txt``.
+Run: ``pytest benchmarks/bench_fig09.py --benchmark-only -s``
+"""
+
+from repro.bench.experiments import fig09
+
+from _common import SWEEP_SCALE, run_and_report
+
+
+def test_fig09(benchmark):
+    result = run_and_report(benchmark, fig09.run, SWEEP_SCALE)
+    assert abs(result.findings["smj_om_vs_smj_um_largest"] - 1.0) < 0.05

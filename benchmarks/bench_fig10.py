@@ -1,0 +1,14 @@
+"""Figure 10: time breakdown of wide joins.
+
+Regenerates the experiment table into ``bench_results/fig10.txt``.
+Run: ``pytest benchmarks/bench_fig10.py --benchmark-only -s``
+"""
+
+from repro.bench.experiments import fig10
+
+from _common import SWEEP_SCALE, run_and_report
+
+
+def test_fig10(benchmark):
+    result = run_and_report(benchmark, fig10.run, SWEEP_SCALE)
+    assert result.findings["phj_om_speedup_over_phj_um"] > 1.7

@@ -1,0 +1,14 @@
+"""Figure 11: effect of |R|/|S|.
+
+Regenerates the experiment table into ``bench_results/fig11.txt``.
+Run: ``pytest benchmarks/bench_fig11.py --benchmark-only -s``
+"""
+
+from repro.bench.experiments import fig11
+
+from _common import SWEEP_SCALE, run_and_report
+
+
+def test_fig11(benchmark):
+    result = run_and_report(benchmark, fig11.run, SWEEP_SCALE)
+    assert result.findings["om_wins_all_ratios"] == 1.0

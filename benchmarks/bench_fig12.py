@@ -1,0 +1,14 @@
+"""Figure 12: effect of payload column count.
+
+Regenerates the experiment table into ``bench_results/fig12.txt``.
+Run: ``pytest benchmarks/bench_fig12.py --benchmark-only -s``
+"""
+
+from repro.bench.experiments import fig12
+
+from _common import SWEEP_SCALE, run_and_report
+
+
+def test_fig12(benchmark):
+    result = run_and_report(benchmark, fig12.run, SWEEP_SCALE)
+    assert result.findings["phj_om_over_phj_um_widest"] > 1.5

@@ -1,0 +1,14 @@
+"""Figure 13: effect of match ratio.
+
+Regenerates the experiment table into ``bench_results/fig13.txt``.
+Run: ``pytest benchmarks/bench_fig13.py --benchmark-only -s``
+"""
+
+from repro.bench.experiments import fig13
+
+from _common import SWEEP_SCALE, run_and_report
+
+
+def test_fig13(benchmark):
+    result = run_and_report(benchmark, fig13.run, SWEEP_SCALE)
+    assert result.findings["high_ratio_winner_is_om"] == 1.0

@@ -1,0 +1,14 @@
+"""Figure 14: effect of foreign-key skewness.
+
+Regenerates the experiment table into ``bench_results/fig14.txt``.
+Run: ``pytest benchmarks/bench_fig14.py --benchmark-only -s``
+"""
+
+from repro.bench.experiments import fig14
+
+from _common import SWEEP_SCALE, run_and_report
+
+
+def test_fig14(benchmark):
+    result = run_and_report(benchmark, fig14.run, SWEEP_SCALE)
+    assert result.findings["phj_om_always_best"] == 1.0

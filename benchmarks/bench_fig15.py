@@ -1,0 +1,14 @@
+"""Figure 15: effect of data types.
+
+Regenerates the experiment table into ``bench_results/fig15.txt``.
+Run: ``pytest benchmarks/bench_fig15.py --benchmark-only -s``
+"""
+
+from repro.bench.experiments import fig15
+
+from _common import SWEEP_SCALE, run_and_report
+
+
+def test_fig15(benchmark):
+    result = run_and_report(benchmark, fig15.run, SWEEP_SCALE)
+    assert result.findings["phj_om_best_all_types"] == 1.0

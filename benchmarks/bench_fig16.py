@@ -1,0 +1,14 @@
+"""Figure 16: sequences of joins.
+
+Regenerates the experiment table into ``bench_results/fig16.txt``.
+Run: ``pytest benchmarks/bench_fig16.py --benchmark-only -s``
+"""
+
+from repro.bench.experiments import fig16
+
+from _common import SWEEP_SCALE, run_and_report
+
+
+def test_fig16(benchmark):
+    result = run_and_report(benchmark, fig16.run, SWEEP_SCALE)
+    assert result.findings["advantage_grows"] == 1.0

@@ -1,0 +1,14 @@
+"""Figure 17 / Table 6: TPC-H and TPC-DS joins.
+
+Regenerates the experiment table into ``bench_results/fig17.txt``.
+Run: ``pytest benchmarks/bench_fig17.py --benchmark-only -s``
+"""
+
+from repro.bench.experiments import fig17
+
+from _common import SWEEP_SCALE, run_and_report
+
+
+def test_fig17(benchmark):
+    result = run_and_report(benchmark, fig17.run, SWEEP_SCALE)
+    assert result.findings["phj_om_win_fraction"] >= 0.5

@@ -1,0 +1,14 @@
+"""Figure 18: decision-tree validation.
+
+Regenerates the experiment table into ``bench_results/fig18.txt``.
+Run: ``pytest benchmarks/bench_fig18.py --benchmark-only -s``
+"""
+
+from repro.bench.experiments import fig18
+
+from _common import SWEEP_SCALE, run_and_report
+
+
+def test_fig18(benchmark):
+    result = run_and_report(benchmark, fig18.run, SWEEP_SCALE)
+    assert result.findings["planner_accuracy"] >= 0.8

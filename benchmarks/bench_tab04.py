@@ -1,0 +1,14 @@
+"""Table 4: micro-architectural GATHER counters.
+
+Regenerates the experiment table into ``bench_results/tab04.txt``.
+Run: ``pytest benchmarks/bench_tab04.py --benchmark-only -s``
+"""
+
+from repro.bench.experiments import tab04
+
+from _common import REPORT_SCALE, run_and_report
+
+
+def test_tab04(benchmark):
+    result = run_and_report(benchmark, tab04.run, REPORT_SCALE)
+    assert 5.0 <= result.findings["cycle_ratio"] <= 12.0

@@ -1,0 +1,14 @@
+"""Table 5: peak memory usage.
+
+Regenerates the experiment table into ``bench_results/tab05.txt``.
+Run: ``pytest benchmarks/bench_tab05.py --benchmark-only -s``
+"""
+
+from repro.bench.experiments import tab05
+
+from _common import SWEEP_SCALE, run_and_report
+
+
+def test_tab05(benchmark):
+    result = run_and_report(benchmark, tab05.run, SWEEP_SCALE)
+    assert result.findings["om_over_um_worst_ratio"] < 1.15

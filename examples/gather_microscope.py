@@ -1,0 +1,82 @@
+"""Gather microscope: Table 4's profiler counters, hands on.
+
+Profiles the GATHER primitive under maps of decreasing locality — from
+perfectly sequential to fully random — showing how "sectors per request"
+(the Nsight Compute counter the paper builds its analysis on) drives the
+simulated cost, and where the L2 changes the picture.
+
+Run: ``python examples/gather_microscope.py``
+"""
+
+import numpy as np
+
+from repro.gpusim import A100, GPUContext, scaled_device
+from repro.primitives.gather import gather
+from repro.primitives.sector_analysis import analyze_indices
+
+SCALE = 2.0 ** -9
+DEVICE = scaled_device(A100, SCALE)
+N = 1 << 18
+
+rng = np.random.default_rng(0)
+src = rng.integers(0, 1 << 30, N).astype(np.int32)
+
+
+def make_map(locality: str) -> np.ndarray:
+    if locality == "sequential":
+        return np.arange(N, dtype=np.int32)
+    if locality == "sorted-sample":
+        return np.sort(rng.integers(0, N, N)).astype(np.int32)
+    if locality == "block-shuffled":
+        # Partition-local permutation: random inside 4K-element blocks —
+        # the access pattern of PHJ-OM's build-side gathers.
+        blocks = np.arange(N, dtype=np.int32).reshape(-1, 4096)
+        for block in blocks:
+            rng.shuffle(block)
+        return blocks.reshape(-1)
+    if locality == "random":
+        return rng.permutation(N).astype(np.int32)
+    raise ValueError(locality)
+
+
+print(f"GATHER of {N} 4-byte values on {DEVICE.describe()}\n")
+header = (f"{'map':15s} {'sectors/req':>12s} {'cold MB':>9s} "
+          f"{'warp span':>11s} {'sim time':>10s} {'slowdown':>9s}")
+print(header)
+print("-" * len(header))
+
+baseline = None
+for locality in ("sequential", "sorted-sample", "block-shuffled", "random"):
+    index_map = make_map(locality)
+    stats = analyze_indices(index_map, 4)
+    ctx = GPUContext(device=DEVICE)
+    gather(ctx, src, index_map, label=locality)
+    seconds = ctx.elapsed_seconds
+    if baseline is None:
+        baseline = seconds
+    print(
+        f"{locality:15s} {stats.sectors_per_request:12.1f} "
+        f"{stats.cold_sectors * 32 / 1e6:9.2f} "
+        f"{stats.mean_warp_span_bytes:11.0f} "
+        f"{seconds * 1e6:8.1f}us {seconds / baseline:8.1f}x"
+    )
+
+print(
+    "\nReading the table:\n"
+    "  * sectors/request is the warp-level coalescing factor Table 4\n"
+    "    reports (4 = perfectly coalesced 4-byte loads, 32 = every lane\n"
+    "    on its own sector);\n"
+    "  * 'block-shuffled' is PHJ-OM's regime — random inside a\n"
+    "    partition, so warp spans stay small and the L2 absorbs the\n"
+    "    repeated touches;\n"
+    "  * 'random' is the GFUR materialization regime: near-32\n"
+    "    sectors/request with spans far beyond L2 — the ~8.5x gap that\n"
+    "    motivates the whole GFTR design."
+)
+
+# The same counters through the Nsight-style profiler (Table 4 layout):
+print("\nProfiler view (Table 4 layout) for the random map:")
+ctx = GPUContext(device=DEVICE)
+gather(ctx, src, make_map("random"), label="random")
+for name, value in ctx.profiler.counters(name_filter="gather").as_table_rows():
+    print(f"  {name:36s} {value}")

@@ -1,0 +1,79 @@
+"""Mini query engine: a TPC-H-Q3-shaped plan end to end.
+
+Builds the logical plan for
+
+    SELECT o.custkey, SUM(l.extendedprice)
+    FROM customer c JOIN orders o ON c.custkey = o.custkey
+    GROUP BY o.custkey
+
+over synthetic tables, executes it with and without the optimizer
+(projection pushdown + join-aggregate fusion), and prints both traces —
+the end-to-end story the paper's introduction motivates: relational
+operators living on the GPU next to their consumers.
+
+Run: ``python examples/mini_query_engine.py``
+"""
+
+import numpy as np
+
+from repro import A100, AggSpec, JoinConfig, Relation, scaled_device
+from repro.query import Aggregate, Join, Scan, execute
+
+SCALE = 2.0 ** -9
+DEVICE = scaled_device(A100, SCALE)
+CONFIG = JoinConfig(
+    tuples_per_partition=max(32, int(4096 * SCALE)),
+    bucket_tuples=max(32, int(4096 * SCALE)),
+)
+
+rng = np.random.default_rng(42)
+num_customers = 1 << 16
+num_orders = 1 << 18
+
+customer = Relation.from_key_payloads(
+    rng.permutation(num_customers).astype(np.int32),
+    [
+        rng.integers(0, 25, num_customers).astype(np.int32),   # nation
+        rng.integers(0, 5, num_customers).astype(np.int32),    # segment
+    ],
+    payload_prefix="c",
+    name="customer",
+)
+orders = Relation.from_key_payloads(
+    rng.integers(0, num_customers, num_orders).astype(np.int32),
+    [
+        rng.integers(900, 105000, num_orders).astype(np.int32),  # price
+        rng.integers(0, 2556, num_orders).astype(np.int32),      # orderdate
+        rng.integers(0, 5, num_orders).astype(np.int32),         # priority
+    ],
+    payload_prefix="o",
+    name="orders",
+)
+
+plan = Aggregate(
+    Join(Scan(customer), Scan(orders)),   # customer is the PK side
+    group_column="key",                   # group by the customer key
+    aggregates=(AggSpec("o1", "sum"), AggSpec("o1", "count")),
+)
+
+print("plan:  Aggregate(SUM(o1), COUNT(o1) BY key) <- Join <- Scan x2\n")
+for label, optimize in (("optimized (fusion + pushdown)", True),
+                        ("literal plan", False)):
+    result = execute(plan, device=DEVICE, config=CONFIG, seed=0, optimize=optimize)
+    print(f"--- {label}")
+    print(result.explain())
+    print()
+
+optimized = execute(plan, device=DEVICE, config=CONFIG, seed=0)
+literal = execute(plan, device=DEVICE, config=CONFIG, seed=0, optimize=False)
+assert np.array_equal(optimized.output["sum_o1"], literal.output["sum_o1"])
+print(
+    f"optimizer speedup: {literal.total_seconds / optimized.total_seconds:.2f}x "
+    f"with identical results ({optimized.output['group_key'].size} groups)"
+)
+top = int(np.argmax(optimized.output["sum_o1"]))
+print(
+    f"top customer: key={optimized.output['group_key'][top]} "
+    f"revenue={optimized.output['sum_o1'][top]} "
+    f"orders={optimized.output['count_o1'][top]}"
+)

@@ -1,0 +1,91 @@
+"""ML feature-assembly pipeline: the paper's motivating workload.
+
+The introduction motivates GPU-resident joins with in-database machine
+learning: feature augmentation joins tables *without filters*, so the
+match ratio is 100% and every payload column materializes — exactly the
+regime where materialization dominates and GFTR pays off (Figure 1).
+
+This example assembles a training matrix by joining a fact table of
+samples against two feature tables, comparing the GFUR baseline (PHJ-UM)
+with the paper's PHJ-OM, and showing the phase breakdown that explains
+the gap.
+
+Run: ``python examples/ml_preprocessing_pipeline.py``
+"""
+
+import numpy as np
+
+from repro import (
+    JoinConfig,
+    PartitionedHashJoin,
+    PartitionedHashJoinUM,
+    Relation,
+    scaled_device,
+    A100,
+)
+
+# Scale the device geometry with the workload so the run reproduces the
+# paper-scale regime at laptop size (see DESIGN.md).
+SCALE = 2.0 ** -9
+DEVICE = scaled_device(A100, SCALE)
+CONFIG = JoinConfig(
+    tuples_per_partition=max(32, int(4096 * SCALE)),
+    bucket_tuples=max(32, int(4096 * SCALE)),
+)
+
+rng = np.random.default_rng(0)
+num_entities = 1 << 17
+num_samples = 1 << 18
+
+# Feature table: one row per entity, four dense feature columns.
+features = Relation.from_key_payloads(
+    rng.permutation(num_entities).astype(np.int32),
+    [rng.integers(0, 1 << 20, num_entities).astype(np.int32) for _ in range(4)],
+    payload_prefix="f",
+    name="entity_features",
+)
+
+# Samples: every sample references an entity (100% match — no filter),
+# and carries a label plus a timestamp.
+samples = Relation.from_key_payloads(
+    rng.integers(0, num_entities, num_samples).astype(np.int32),
+    [
+        rng.integers(0, 2, num_samples).astype(np.int32),        # label
+        rng.integers(0, 10 ** 9, num_samples).astype(np.int32),  # ts
+    ],
+    payload_prefix="s",
+    name="samples",
+)
+
+print("Feature augmentation join (100% match ratio, 6 payload columns)")
+print(f"  features: {features.num_rows} rows, samples: {samples.num_rows} rows\n")
+
+results = {}
+for name, algorithm in (
+    ("PHJ-UM (GFUR baseline)", PartitionedHashJoinUM(CONFIG)),
+    ("PHJ-OM (GFTR, ours)", PartitionedHashJoin(CONFIG)),
+):
+    result = algorithm.join(features, samples, device=DEVICE, seed=1)
+    results[name] = result
+    print(f"{name}")
+    for phase, seconds in result.phase_seconds.items():
+        share = result.phase_fraction(phase)
+        print(f"  {phase:12s} {seconds * 1e3:8.3f} ms  ({share:5.1%})")
+    print(f"  {'total':12s} {result.total_seconds * 1e3:8.3f} ms\n")
+
+baseline, optimized = results.values()
+assert optimized.output.equals_unordered(baseline.output)
+print(
+    f"GFTR speedup: {baseline.total_seconds / optimized.total_seconds:.2f}x "
+    f"(paper reports up to 2.3x for this regime)"
+)
+mat_share = baseline.phase_fraction("materialize")
+print(
+    f"Materialization consumed {mat_share:.0%} of the GFUR baseline — the "
+    f"bottleneck Figure 1 identifies."
+)
+
+# The assembled matrix is a real relation, ready to feed a model.
+matrix = optimized.output
+feature_columns = [c for c in matrix.column_names if c.startswith("f")]
+print(f"\nTraining matrix: {matrix.num_rows} rows, features {feature_columns}")

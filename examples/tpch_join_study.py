@@ -1,0 +1,55 @@
+"""TPC-H / TPC-DS join study: the Table 6 extracted joins.
+
+Regenerates the Section 5.3 experiment interactively: the five joins
+DuckDB's optimizer extracts from TPC-H Q7/Q18/Q19 and TPC-DS Q64/Q95,
+with dictionary-encoded strings and the paper's 4-byte-key /
+8-byte-non-key type mixture, run across all four implementations.
+
+Run: ``python examples/tpch_join_study.py``
+"""
+
+from repro import A100, DictionaryEncoder, scaled_device
+from repro.bench.harness import make_setup, run_algorithm
+from repro.relational import reference_join
+from repro.workloads import TPC_JOINS, generate_tpc_join
+
+SCALE = 2.0 ** -10
+setup = make_setup(SCALE)
+
+print("Dictionary encoding (how string attributes become join columns):")
+encoder = DictionaryEncoder()
+ship_modes = ["AIR", "RAIL", "SHIP", "AIR", "TRUCK", "RAIL"]
+codes = encoder.encode(ship_modes)
+print(f"  {ship_modes}\n  -> {codes.tolist()} "
+      f"(dictionary of {encoder.cardinality} values)\n")
+
+header = f"{'join':5s} {'query':6s} {'|R|':>8s} {'|S|':>8s} {'|T|':>8s} " + "".join(
+    f"{name:>10s}" for name in ("SMJ-UM", "SMJ-OM", "PHJ-UM", "PHJ-OM")
+) + f" {'winner':>8s}"
+print(header)
+print("-" * len(header))
+
+for spec in TPC_JOINS:
+    r, s = generate_tpc_join(spec, scale=SCALE, variant="mixed", seed=0)
+    expected = reference_join(r, s)
+    times = {}
+    for name in ("SMJ-UM", "SMJ-OM", "PHJ-UM", "PHJ-OM"):
+        result = run_algorithm(name, r, s, setup)
+        assert result.output.equals_unordered(expected)  # always verify
+        times[name] = result.total_seconds * 1e3
+    winner = min(times, key=times.get)
+    print(
+        f"{spec.join_id:5s} {spec.query:6s} {r.num_rows:8d} {s.num_rows:8d} "
+        f"{expected.num_rows:8d} "
+        + "".join(f"{times[n]:10.4f}" for n in times)
+        + f" {winner:>8s}"
+    )
+
+print(
+    "\nObservations matching the paper (Section 5.3):\n"
+    "  * PHJ-OM leads the large PK-FK joins (J1/J2/J4);\n"
+    "  * J3's inputs are small enough that unclustered gathers stay in\n"
+    "    L2, so GFUR variants keep up;\n"
+    "  * J5 is a self FK-FK join producing ~12.5x its input — match\n"
+    "    finding dominates and all four implementations converge."
+)

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` falls back to this legacy path (with
+``--no-use-pep517``) when PEP 660 editable builds are unavailable
+offline; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

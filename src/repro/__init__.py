@@ -1,0 +1,85 @@
+"""repro — GPU-style relational joins and grouped aggregations.
+
+A faithful, laptop-scale reproduction of the ETH line of work on
+efficiently processing joins (GFTR materialization, optimized SMJ/PHJ)
+and grouped aggregations on GPUs, built on a calibrated GPU execution
+simulator.  See README.md for a tour and DESIGN.md for the architecture
+and hardware-substitution rationale.
+"""
+
+from .aggregation import (
+    AggSpec,
+    GROUPBY_ALGORITHMS,
+    GroupByConfig,
+    GroupByResult,
+    HashGroupBy,
+    PartitionedGroupBy,
+    SortGroupBy,
+    recommend_groupby_algorithm,
+)
+from .api import group_by, join
+from .errors import (
+    AggregationConfigError,
+    DeviceOutOfMemoryError,
+    InvalidRelationError,
+    JoinConfigError,
+    ReproError,
+    WorkloadError,
+)
+from .gpusim import A100, CPU_SERVER, RTX3090, DeviceSpec, GPUContext, scaled_device
+from .joins import (
+    ALGORITHMS,
+    CPURadixJoin,
+    JoinConfig,
+    JoinPipeline,
+    JoinResult,
+    NonPartitionedHashJoin,
+    PartitionedHashJoin,
+    PartitionedHashJoinUM,
+    SortMergeJoinOM,
+    SortMergeJoinUM,
+    recommend_join_algorithm,
+)
+from .relational import DictionaryEncoder, Relation, reference_groupby, reference_join
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "A100",
+    "ALGORITHMS",
+    "AggSpec",
+    "AggregationConfigError",
+    "CPURadixJoin",
+    "CPU_SERVER",
+    "DeviceOutOfMemoryError",
+    "DeviceSpec",
+    "DictionaryEncoder",
+    "GPUContext",
+    "GROUPBY_ALGORITHMS",
+    "GroupByConfig",
+    "GroupByResult",
+    "HashGroupBy",
+    "InvalidRelationError",
+    "JoinConfig",
+    "JoinConfigError",
+    "JoinPipeline",
+    "JoinResult",
+    "NonPartitionedHashJoin",
+    "PartitionedGroupBy",
+    "PartitionedHashJoin",
+    "PartitionedHashJoinUM",
+    "RTX3090",
+    "Relation",
+    "ReproError",
+    "SortGroupBy",
+    "SortMergeJoinOM",
+    "SortMergeJoinUM",
+    "WorkloadError",
+    "group_by",
+    "join",
+    "recommend_groupby_algorithm",
+    "recommend_join_algorithm",
+    "reference_groupby",
+    "reference_join",
+    "scaled_device",
+]

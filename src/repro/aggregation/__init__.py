@@ -1,0 +1,41 @@
+"""Grouped aggregation strategies (the SIGMOD 2025 extension scope)."""
+
+from .base import (
+    AggSpec,
+    GroupByAlgorithm,
+    GroupByConfig,
+    GroupByResult,
+    segmented_aggregate,
+)
+from .hash_groupby import HashGroupBy, atomic_contention
+from .partitioned_groupby import PartitionedGroupBy, derive_groupby_bits
+from .planner import (
+    GroupByWorkloadProfile,
+    make_groupby_algorithm,
+    recommend_groupby_algorithm,
+)
+from .sort_groupby import SortGroupBy
+
+#: The three principal strategies, keyed by their short names.
+GROUPBY_ALGORITHMS = {
+    "HASH-AGG": HashGroupBy,
+    "SORT-AGG": SortGroupBy,
+    "PART-AGG": PartitionedGroupBy,
+}
+
+__all__ = [
+    "AggSpec",
+    "GROUPBY_ALGORITHMS",
+    "GroupByAlgorithm",
+    "GroupByConfig",
+    "GroupByResult",
+    "GroupByWorkloadProfile",
+    "HashGroupBy",
+    "PartitionedGroupBy",
+    "SortGroupBy",
+    "atomic_contention",
+    "derive_groupby_bits",
+    "make_groupby_algorithm",
+    "recommend_groupby_algorithm",
+    "segmented_aggregate",
+]

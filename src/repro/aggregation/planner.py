@@ -1,0 +1,111 @@
+"""Aggregation-strategy selection heuristics.
+
+The group-by analogue of the Figure 18 decision trees, derived from the
+same traffic arguments:
+
+* **few groups** (accumulator table L2-resident): hash aggregation wins —
+  its random updates are cache hits and it streams every value column
+  exactly once;
+* **many groups** (table past L2): every atomic fold is a latency-bound
+  random access; partitioned aggregation turns them into sequential
+  streams at the price of ~2 RADIX-PARTITION passes per column;
+* **sort aggregation** needs ~4 radix passes per column, so it only
+  matches the partitioned strategy when inputs are pre-sorted (not
+  modeled here) — it is kept for completeness and validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..gpusim.device import A100, DeviceSpec
+from .hash_groupby import SLOT_BYTES
+
+#: Above this many rows per group, global atomic folds contend enough
+#: that partitioned aggregation wins in the L2-resident regime.
+CONTENTION_ROWS_PER_GROUP = 128
+
+
+@dataclass
+class GroupByWorkloadProfile:
+    """Optimizer-visible statistics of a prospective aggregation."""
+
+    rows: int
+    estimated_groups: int
+    value_columns: int = 1
+    key_bytes: int = 4
+    value_bytes: int = 4
+    zipf_factor: float = 0.0
+
+
+@dataclass
+class Recommendation:
+    algorithm: str
+    reasons: List[str] = field(default_factory=list)
+
+    def explain(self) -> str:
+        return f"{self.algorithm}: " + "; ".join(self.reasons)
+
+
+def recommend_groupby_algorithm(
+    profile: GroupByWorkloadProfile, device: DeviceSpec = A100
+) -> Recommendation:
+    """Pick the best aggregation strategy for a workload on a device."""
+    reasons: List[str] = []
+    table_bytes = profile.estimated_groups * SLOT_BYTES * 2
+    if table_bytes <= device.shared_mem_bytes:
+        reasons.append(
+            f"accumulator table ~{table_bytes} B fits shared memory: "
+            "per-block private tables, one sequential pass per column"
+        )
+        return Recommendation("HASH-AGG", reasons)
+    if table_bytes <= device.l2_bytes:
+        reasons.append(
+            f"accumulator table ~{table_bytes} B fits L2 ({device.l2_bytes} B): "
+            "random folds are cache resident"
+        )
+        rows_per_group = profile.rows / max(1, profile.estimated_groups)
+        if rows_per_group > CONTENTION_ROWS_PER_GROUP:
+            reasons.append(
+                f"~{rows_per_group:.0f} rows per group: global atomics "
+                "serialize on hot accumulators; partitioned folds avoid them"
+            )
+            return Recommendation("PART-AGG", reasons)
+        if profile.zipf_factor > 1.0:
+            reasons.append(
+                "skewed keys contend on hot global accumulators; "
+                "partitioned folds avoid global atomics"
+            )
+            return Recommendation("PART-AGG", reasons)
+        return Recommendation("HASH-AGG", reasons)
+    reasons.append(
+        f"accumulator table ~{table_bytes} B exceeds L2 ({device.l2_bytes} B): "
+        "each fold is a latency-bound random access"
+    )
+    reasons.append(
+        "partitioning makes folds sequential at ~2 radix passes per column "
+        "(sorting would need ~4)"
+    )
+    return Recommendation("PART-AGG", reasons)
+
+
+def make_groupby_algorithm(name: str, config=None):
+    """Instantiate a group-by strategy by name."""
+    from .hash_groupby import HashGroupBy
+    from .partitioned_groupby import PartitionedGroupBy
+    from .sort_groupby import SortGroupBy
+
+    factories = {
+        "HASH-AGG": lambda: HashGroupBy(config),
+        "SORT-AGG": lambda: SortGroupBy(config),
+        "SORT-AGG/gfur": lambda: SortGroupBy(config, pattern="gfur"),
+        "PART-AGG": lambda: PartitionedGroupBy(config),
+        "PART-AGG/gfur": lambda: PartitionedGroupBy(config, pattern="gfur"),
+    }
+    try:
+        return factories[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown aggregation algorithm {name!r}; known: {sorted(factories)}"
+        ) from None

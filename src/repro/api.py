@@ -1,0 +1,122 @@
+"""Top-level convenience API.
+
+Most users need three calls::
+
+    from repro import Relation, join, group_by
+
+    result = join(r, s)                      # planner picks the algorithm
+    result = join(r, s, algorithm="PHJ-OM")  # force one
+    agg = group_by(keys, {"v": values}, {"v": "sum"})
+
+Lower-level control (explicit contexts, configs, devices, per-phase
+inspection) lives in ``repro.joins`` and ``repro.aggregation``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from .aggregation.base import AggSpec, GroupByConfig, GroupByResult
+from .aggregation.planner import (
+    GroupByWorkloadProfile,
+    make_groupby_algorithm,
+    recommend_groupby_algorithm,
+)
+from .gpusim.device import A100, DeviceSpec, get_device
+from .joins.base import JoinConfig, JoinResult
+from .joins.planner import (
+    JoinWorkloadProfile,
+    make_algorithm,
+    recommend_join_algorithm,
+)
+from .relational.relation import Relation
+
+
+def _resolve_device(device: Union[str, DeviceSpec]) -> DeviceSpec:
+    if isinstance(device, DeviceSpec):
+        return device
+    return get_device(device)
+
+
+def join(
+    r: Relation,
+    s: Relation,
+    algorithm: str = "auto",
+    device: Union[str, DeviceSpec] = A100,
+    config: Optional[JoinConfig] = None,
+    match_ratio: Optional[float] = None,
+    zipf_factor: float = 0.0,
+    seed: Optional[int] = None,
+) -> JoinResult:
+    """Inner equi-join ``R ⋈ S`` on each relation's key column.
+
+    R is the build (primary-key) side, S the probe side.  With
+    ``algorithm="auto"`` the Figure 18 decision tree picks the
+    implementation from the relations' shapes (pass ``match_ratio`` /
+    ``zipf_factor`` estimates for a better decision).  Returns a
+    :class:`~repro.joins.base.JoinResult` whose ``output`` is the real
+    materialized join and whose times/memory are simulated.
+    """
+    spec = _resolve_device(device)
+    if algorithm == "auto":
+        profile = JoinWorkloadProfile.from_relations(
+            r,
+            s,
+            match_ratio=match_ratio if match_ratio is not None else 1.0,
+            zipf_factor=zipf_factor,
+        )
+        algorithm = recommend_join_algorithm(profile).algorithm
+    impl = make_algorithm(algorithm, config)
+    return impl.join(r, s, device=spec, seed=seed)
+
+
+def _coerce_aggregates(aggregates) -> List[AggSpec]:
+    if isinstance(aggregates, dict):
+        return [AggSpec(column, op) for column, op in aggregates.items()]
+    specs = []
+    for item in aggregates:
+        if isinstance(item, AggSpec):
+            specs.append(item)
+        else:
+            column, op = item
+            specs.append(AggSpec(column, op))
+    return specs
+
+
+def group_by(
+    keys: np.ndarray,
+    values: Dict[str, np.ndarray],
+    aggregates,
+    algorithm: str = "auto",
+    device: Union[str, DeviceSpec] = A100,
+    config: Optional[GroupByConfig] = None,
+    zipf_factor: float = 0.0,
+    seed: Optional[int] = None,
+) -> GroupByResult:
+    """Grouped aggregation of *values* by *keys*.
+
+    ``aggregates`` maps value-column name to operator (``sum``,
+    ``count``, ``min``, ``max``, ``mean``), or is a list of
+    :class:`AggSpec` / ``(column, op)`` pairs.  With ``algorithm="auto"``
+    the planner picks hash, sort, or partitioned aggregation from the
+    estimated group cardinality.
+    """
+    spec = _resolve_device(device)
+    agg_specs = _coerce_aggregates(aggregates)
+    if algorithm == "auto":
+        # Cardinality estimate from a strided sample (an optimizer would
+        # have catalog statistics; distinct-in-sample is a lower bound).
+        sample = keys if keys.size <= 65536 else keys[:: max(1, keys.size // 65536)]
+        estimated = int(np.unique(sample).size)
+        profile = GroupByWorkloadProfile(
+            rows=int(keys.size),
+            estimated_groups=estimated,
+            value_columns=len(values),
+            key_bytes=keys.dtype.itemsize,
+            zipf_factor=zipf_factor,
+        )
+        algorithm = recommend_groupby_algorithm(profile, device=spec).algorithm
+    impl = make_groupby_algorithm(algorithm, config)
+    return impl.group_by(keys, values, agg_specs, device=spec, seed=seed)

@@ -1,0 +1,25 @@
+"""Benchmark harness: scaled setups, experiment runners, result tables."""
+
+from .harness import (
+    DEFAULT_SCALE,
+    ExperimentResult,
+    Setup,
+    make_setup,
+    phase_columns,
+    run_algorithm,
+    throughput_mtuples,
+)
+from .reporting import print_and_save, results_dir, save_result
+
+__all__ = [
+    "DEFAULT_SCALE",
+    "ExperimentResult",
+    "Setup",
+    "make_setup",
+    "phase_columns",
+    "print_and_save",
+    "results_dir",
+    "run_algorithm",
+    "save_result",
+    "throughput_mtuples",
+]

@@ -1,0 +1,74 @@
+"""Command-line experiment runner.
+
+Regenerate any subset of the paper's tables and figures without pytest::
+
+    python -m repro.bench                     # list experiments
+    python -m repro.bench fig10 fig14         # run two experiments
+    python -m repro.bench all --scale 0.002   # run everything at a scale
+
+Rendered tables are printed and saved under ``bench_results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .experiments import ALL_EXPERIMENTS
+from .harness import DEFAULT_SCALE
+from .reporting import print_and_save
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids (e.g. fig10 tab04 agg01), or 'all'",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=DEFAULT_SCALE,
+        help=f"workload scale relative to the paper (default {DEFAULT_SCALE:g})",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="workload generator seed"
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if not args.experiments:
+        print("available experiments:")
+        for name in sorted(ALL_EXPERIMENTS):
+            doc = (ALL_EXPERIMENTS[name].__module__ or "").rsplit(".", 1)[-1]
+            del doc
+            print(f"  {name}")
+        print("\nrun with: python -m repro.bench <ids...> | all")
+        return 0
+
+    names = (
+        sorted(ALL_EXPERIMENTS) if args.experiments == ["all"] else args.experiments
+    )
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}", file=sys.stderr)
+        print(f"known: {sorted(ALL_EXPERIMENTS)}", file=sys.stderr)
+        return 2
+
+    for name in names:
+        started = time.time()
+        result = ALL_EXPERIMENTS[name](scale=args.scale, seed=args.seed)
+        path = print_and_save(result)
+        print(f"[{name}] {time.time() - started:.1f}s wall -> {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

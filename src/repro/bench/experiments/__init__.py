@@ -1,0 +1,50 @@
+"""One module per reproduced table/figure (see DESIGN.md's index).
+
+Each module exposes ``run(scale=...) -> ExperimentResult`` (some take
+extra knobs).  ``ALL_EXPERIMENTS`` maps experiment id to its runner for
+programmatic sweeps.
+"""
+
+from . import (
+    abl01,
+    abl02,
+    abl03,
+    abl04,
+    agg01,
+    agg02,
+    agg03,
+    agg04,
+    agg05,
+    agg06,
+    ext01,
+    ext02,
+    ext03,
+    fig01,
+    fig07,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+    fig17,
+    fig18,
+    tab04,
+    tab05,
+)
+
+ALL_EXPERIMENTS = {
+    module.__name__.rsplit(".", 1)[-1]: module.run
+    for module in (
+        fig01, tab04, fig07, fig08, fig09, fig10, fig11, fig12, fig13,
+        fig14, fig15, tab05, fig16, fig17, fig18,
+        agg01, agg02, agg03, agg04, agg05, agg06,
+        abl01, abl02, abl03, abl04,
+        ext01, ext02, ext03,
+    )
+}
+
+__all__ = ["ALL_EXPERIMENTS"]

@@ -1,0 +1,58 @@
+"""abl03: radix-partition fan-out sweep.
+
+Forces the PHJ-OM partition fan-out from 4 to 16 bits.  Too few bits
+leave build partitions larger than the shared-memory hash table, so the
+probe side is re-streamed per sub-partition (block-nested-loop); too
+many bits add RADIX-PARTITION passes (every 8 bits = one more pass per
+column pair).  The derived setting should sit at or near the optimum.
+"""
+
+from __future__ import annotations
+
+from ...joins.base import JoinConfig
+from ...joins.phj import derive_partition_bits
+from ...workloads.generators import JoinWorkloadSpec, generate_join_workload
+from ..harness import DEFAULT_SCALE, ExperimentResult, make_setup, run_algorithm
+
+PAPER_ROWS = 1 << 27
+BIT_SETTINGS = (4, 8, 12, 16)
+
+
+def run(scale: float = DEFAULT_SCALE, seed: int = 0) -> ExperimentResult:
+    setup = make_setup(scale)
+    spec = JoinWorkloadSpec(
+        r_rows=setup.rows(PAPER_ROWS),
+        s_rows=setup.rows(2 * PAPER_ROWS),
+        r_payload_columns=2,
+        s_payload_columns=2,
+        seed=seed,
+    )
+    r, s = generate_join_workload(spec)
+    derived = derive_partition_bits(r.num_rows, setup.config.tuples_per_partition)
+
+    result = ExperimentResult(
+        experiment_id="abl03",
+        title="Partition fan-out sweep (PHJ-OM)",
+        headers=["bits", "passes", "transform_ms", "match_ms", "total_ms"],
+    )
+    times = {}
+    for bits in sorted(set(BIT_SETTINGS) | {derived}):
+        cfg = JoinConfig(
+            tuples_per_partition=setup.config.tuples_per_partition,
+            bucket_tuples=setup.config.bucket_tuples,
+            partition_bits=bits,
+        )
+        res = run_algorithm("PHJ-OM", r, s, setup, config=cfg)
+        times[bits] = res.total_seconds
+        result.add_row(
+            f"{bits}{' (derived)' if bits == derived else ''}",
+            -(-bits // 8),
+            res.phase_seconds.get("transform", 0.0) * 1e3,
+            res.phase_seconds.get("match", 0.0) * 1e3,
+            res.total_seconds * 1e3,
+        )
+    best_bits = min(times, key=times.get)
+    result.findings["derived_bits"] = float(derived)
+    result.findings["best_bits"] = float(best_bits)
+    result.findings["derived_regret"] = times[derived] / times[best_bits] - 1.0
+    return result

@@ -1,0 +1,53 @@
+"""agg01: grouped aggregation vs group cardinality.
+
+The aggregation analogue of the match-ratio study: 2^27 rows, one sum,
+sweeping the number of groups from a handful to ~|rows|/4.  Expected
+regimes (emergent from the traffic model):
+
+* tiny cardinality — hash aggregation with privatized shared-memory
+  tables wins (one sequential pass);
+* large cardinality — the global accumulator table spills L2 and every
+  fold is random; partitioned aggregation wins;
+* sort aggregation is flat but pays ~4 radix passes per column.
+"""
+
+from __future__ import annotations
+
+from ...aggregation.base import AggSpec
+from ...aggregation.planner import make_groupby_algorithm
+from ...workloads.groupby_gen import GroupByWorkloadSpec, generate_groupby_workload
+from ..harness import DEFAULT_SCALE, ExperimentResult, make_setup
+
+PAPER_ROWS = 1 << 27
+#: Group counts as fractions of the row count (scale invariant).
+GROUP_FRACTIONS = (2 ** -16, 2 ** -12, 2 ** -8, 2 ** -4, 2 ** -2)
+ALGORITHMS = ("HASH-AGG", "SORT-AGG", "PART-AGG")
+
+
+def run(scale: float = DEFAULT_SCALE, seed: int = 0) -> ExperimentResult:
+    setup = make_setup(scale)
+    rows = setup.rows(PAPER_ROWS)
+    result = ExperimentResult(
+        experiment_id="agg01",
+        title="Grouped aggregation vs group cardinality (total ms)",
+        headers=["groups"] + list(ALGORITHMS) + ["winner"],
+    )
+    winners = {}
+    for fraction in GROUP_FRACTIONS:
+        groups = max(4, int(rows * fraction))
+        keys, values = generate_groupby_workload(
+            GroupByWorkloadSpec(rows=rows, groups=groups, value_columns=1, seed=seed)
+        )
+        times = {}
+        for name in ALGORITHMS:
+            res = make_groupby_algorithm(name).group_by(
+                keys, values, [AggSpec("v1", "sum")], device=setup.device, seed=seed
+            )
+            times[name] = res.total_seconds * 1e3
+        winner = min(times, key=times.get)
+        winners[groups] = winner
+        result.add_row(groups, *[times[a] for a in ALGORITHMS], winner)
+    group_list = sorted(winners)
+    result.findings["hash_wins_smallest"] = float(winners[group_list[0]] == "HASH-AGG")
+    result.findings["part_wins_largest"] = float(winners[group_list[-1]] == "PART-AGG")
+    return result

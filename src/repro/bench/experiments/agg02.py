@@ -1,0 +1,51 @@
+"""agg02: grouped aggregation under key skew.
+
+Zipf-skewed group keys over a mid-size group domain.  Skew concentrates
+folds on hot accumulators: the global hash table serializes on atomic
+contention while the partitioned strategy stays flat (its partition pass
+is balanced by construction, like RADIX-PARTITION in Figure 14).
+"""
+
+from __future__ import annotations
+
+from ...aggregation.base import AggSpec
+from ...aggregation.planner import make_groupby_algorithm
+from ...workloads.groupby_gen import GroupByWorkloadSpec, generate_groupby_workload
+from ..harness import DEFAULT_SCALE, ExperimentResult, make_setup
+
+PAPER_ROWS = 1 << 27
+GROUP_FRACTION = 2 ** -8
+ZIPF_FACTORS = (0.0, 0.5, 1.0, 1.5, 1.75)
+ALGORITHMS = ("HASH-AGG", "SORT-AGG", "PART-AGG")
+
+
+def run(scale: float = DEFAULT_SCALE, seed: int = 0) -> ExperimentResult:
+    setup = make_setup(scale)
+    rows = setup.rows(PAPER_ROWS)
+    groups = max(4, int(rows * GROUP_FRACTION))
+    result = ExperimentResult(
+        experiment_id="agg02",
+        title="Grouped aggregation under Zipf-skewed keys (total ms)",
+        headers=["zipf"] + list(ALGORITHMS) + ["winner"],
+    )
+    part_times = {}
+    for zipf in ZIPF_FACTORS:
+        keys, values = generate_groupby_workload(
+            GroupByWorkloadSpec(
+                rows=rows, groups=groups, value_columns=1,
+                zipf_factor=zipf, seed=seed,
+            )
+        )
+        times = {}
+        for name in ALGORITHMS:
+            res = make_groupby_algorithm(name).group_by(
+                keys, values, [AggSpec("v1", "sum")], device=setup.device, seed=seed
+            )
+            times[name] = res.total_seconds * 1e3
+        part_times[zipf] = times["PART-AGG"]
+        result.add_row(zipf, *[times[a] for a in ALGORITHMS],
+                       min(times, key=times.get))
+    result.findings["part_agg_flatness"] = (
+        part_times[ZIPF_FACTORS[-1]] / part_times[0.0]
+    )
+    return result

@@ -1,0 +1,62 @@
+"""agg06: TPC-H-shaped grouped aggregations.
+
+Two canonical shapes over a lineitem-like table:
+
+* Q1-like — group by (returnflag, linestatus): 8 groups, four
+  aggregates; the privatized hash table's best case;
+* Q18-like — group by order key: ~|rows|/4 groups; the high-cardinality
+  case where the partitioned strategy wins.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...aggregation.base import AggSpec
+from ...aggregation.planner import make_groupby_algorithm
+from ...workloads.tpch import tpch_lineitem_like
+from ..harness import DEFAULT_SCALE, ExperimentResult, make_setup
+
+PAPER_ROWS = 60_000_000  # lineitem at SF=10
+ALGORITHMS = ("HASH-AGG", "SORT-AGG", "PART-AGG")
+
+
+def run(scale: float = DEFAULT_SCALE, seed: int = 0) -> ExperimentResult:
+    setup = make_setup(scale)
+    rows = setup.rows(PAPER_ROWS)
+    order_key, columns = tpch_lineitem_like(rows, seed=seed)
+    result = ExperimentResult(
+        experiment_id="agg06",
+        title="TPC-H-shaped aggregations (total ms)",
+        headers=["query", "groups"] + list(ALGORITHMS) + ["winner"],
+    )
+
+    # Q1-like: group by (returnflag, linestatus) - encoded as one key.
+    q1_keys = (columns["returnflag"] * 2 + columns["linestatus"]).astype(np.int32)
+    q1_aggs = [
+        AggSpec("quantity", "sum"),
+        AggSpec("extendedprice", "sum"),
+        AggSpec("quantity", "mean"),
+        AggSpec("quantity", "count"),
+    ]
+    # Q18-like: group by order key, one sum.
+    q18_aggs = [AggSpec("quantity", "sum")]
+
+    winners = {}
+    for label, keys, aggs in (
+        ("Q1-like", q1_keys, q1_aggs),
+        ("Q18-like", order_key, q18_aggs),
+    ):
+        times = {}
+        groups = int(np.unique(keys).size)
+        for name in ALGORITHMS:
+            res = make_groupby_algorithm(name).group_by(
+                keys, columns, aggs, device=setup.device, seed=seed
+            )
+            times[name] = res.total_seconds * 1e3
+        winner = min(times, key=times.get)
+        winners[label] = winner
+        result.add_row(label, groups, *[times[a] for a in ALGORITHMS], winner)
+    result.findings["q1_hash_wins"] = float(winners["Q1-like"] == "HASH-AGG")
+    result.findings["q18_part_wins"] = float(winners["Q18-like"] == "PART-AGG")
+    return result

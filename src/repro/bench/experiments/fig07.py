@@ -1,0 +1,81 @@
+"""Figure 7: clustered vs unclustered GATHER with transformation costs.
+
+Compares, on both GPUs, the end-to-end throughput of materializing one
+payload column three ways:
+
+* ``*-UM``: a single unclustered GATHER through permuted physical IDs;
+* ``SMJ-OM``: SORT-PAIRS of (key, payload) followed by a clustered GATHER;
+* ``PHJ-OM``: RADIX-PARTITION of (key, payload) followed by a clustered
+  GATHER.
+
+Paper anchors on the A100: partition+clustered is ~1.79x the unclustered
+throughput; sort+clustered ~1.23x (RTX 3090: 2.2x / 1.37x).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...gpusim.context import GPUContext
+from ...gpusim.device import A100, RTX3090
+from ...primitives.gather import gather
+from ...primitives.radix_partition import radix_partition
+from ...primitives.sort_pairs import sort_pairs
+from ..harness import DEFAULT_SCALE, ExperimentResult, make_setup
+
+PAPER_ITEMS = 1 << 27
+
+
+def _variant_seconds(device, n: int, variant: str, seed: int, bits: int) -> float:
+    rng = np.random.default_rng(seed)
+    keys = rng.permutation(n).astype(np.int32)
+    payload = rng.integers(0, 1 << 30, n).astype(np.int32)
+    match_map = np.sort(rng.permutation(n).astype(np.int32))  # matched, s-major
+
+    ctx = GPUContext(device=device)
+    if variant == "unclustered":
+        physical_ids = rng.permutation(n).astype(np.int32)
+        gather(ctx, payload, physical_ids[match_map], phase="materialize")
+    elif variant == "sort+clustered":
+        _, (sorted_payload,) = sort_pairs(ctx, keys, [payload], phase="transform")
+        gather(ctx, sorted_payload, match_map, phase="materialize")
+    elif variant == "partition+clustered":
+        part = radix_partition(ctx, keys, [payload], total_bits=bits, phase="transform")
+        gather(ctx, part.payloads[0], match_map, phase="materialize")
+    else:  # pragma: no cover - guarded by caller
+        raise ValueError(variant)
+    return ctx.elapsed_seconds
+
+
+def run(scale: float = DEFAULT_SCALE, seed: int = 0) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="fig07",
+        title="Un/clustered GATHER with transformation cost (throughput, Mtuples/s)",
+        headers=["device", "unclustered", "sort+clustered", "partition+clustered",
+                 "partition_speedup", "sort_speedup"],
+    )
+    for base_device in (A100, RTX3090):
+        setup = make_setup(scale, device=base_device)
+        n = setup.rows(PAPER_ITEMS)
+        bits = max(1, int(np.ceil(np.log2(max(2, n / setup.config.tuples_per_partition)))))
+        seconds = {
+            variant: _variant_seconds(setup.device, n, variant, seed, bits)
+            for variant in ("unclustered", "sort+clustered", "partition+clustered")
+        }
+        throughput = {k: n / v / 1e6 for k, v in seconds.items()}
+        result.add_row(
+            base_device.name,
+            throughput["unclustered"],
+            throughput["sort+clustered"],
+            throughput["partition+clustered"],
+            seconds["unclustered"] / seconds["partition+clustered"],
+            seconds["unclustered"] / seconds["sort+clustered"],
+        )
+        result.findings[f"{base_device.name}_partition_speedup"] = (
+            seconds["unclustered"] / seconds["partition+clustered"]
+        )
+        result.findings[f"{base_device.name}_sort_speedup"] = (
+            seconds["unclustered"] / seconds["sort+clustered"]
+        )
+    result.add_note(f"items scaled to ~{PAPER_ITEMS * scale:.0f} (paper: 2^27)")
+    return result

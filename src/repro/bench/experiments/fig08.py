@@ -1,0 +1,58 @@
+"""Figure 8: CPU- vs GPU-based narrow joins across input sizes.
+
+Narrow joins (one payload column per relation), |S| = 2|R|, 100% match.
+The paper sweeps total sizes up to 1G ⋈ 2G and reports throughput for
+the CPU radix join (Balkesen et al.), the cuDF-style non-partitioned
+hash join, and the four partitioned/sorted GPU implementations.
+
+Anchors: GPU joins up to ~34.5x the CPU join and ~4x cuDF; PHJ-* beats
+SMJ-* on narrow inputs.
+"""
+
+from __future__ import annotations
+
+from ...workloads.generators import JoinWorkloadSpec, generate_join_workload
+from ..harness import (
+    DEFAULT_SCALE,
+    ExperimentResult,
+    make_setup,
+    run_algorithm,
+    throughput_mtuples,
+)
+
+#: Paper size points: 0.25G⋈0.5G, 0.5G⋈1G, 1G⋈2G (in |R| tuples).
+PAPER_R_SIZES = (1 << 25, 1 << 26, 1 << 27)
+
+ALGORITHMS = ("CPU", "NPJ", "SMJ-UM", "SMJ-OM", "PHJ-UM", "PHJ-OM")
+
+
+def run(scale: float = DEFAULT_SCALE, seed: int = 0) -> ExperimentResult:
+    setup = make_setup(scale)
+    result = ExperimentResult(
+        experiment_id="fig08",
+        title="CPU- and GPU-based narrow joins (throughput, Mtuples/s)",
+        headers=["|R| tuples"] + list(ALGORITHMS),
+    )
+    best_gpu_vs_cpu = 0.0
+    best_vs_npj = 0.0
+    for paper_rows in PAPER_R_SIZES:
+        spec = JoinWorkloadSpec(
+            r_rows=setup.rows(paper_rows),
+            s_rows=setup.rows(2 * paper_rows),
+            r_payload_columns=1,
+            s_payload_columns=1,
+            seed=seed,
+        )
+        r, s = generate_join_workload(spec)
+        throughputs = {}
+        for name in ALGORITHMS:
+            res = run_algorithm(name, r, s, setup)
+            throughputs[name] = throughput_mtuples(res)
+        result.add_row(spec.r_rows, *[throughputs[a] for a in ALGORITHMS])
+        gpu_best = max(throughputs[a] for a in ALGORITHMS if a != "CPU")
+        best_gpu_vs_cpu = max(best_gpu_vs_cpu, gpu_best / throughputs["CPU"])
+        best_vs_npj = max(best_vs_npj, gpu_best / throughputs["NPJ"])
+    result.findings["max_gpu_speedup_over_cpu"] = best_gpu_vs_cpu
+    result.findings["max_speedup_over_npj"] = best_vs_npj
+    result.add_note("narrow joins: 1 payload column per relation, |S| = 2|R|")
+    return result

@@ -1,0 +1,55 @@
+"""Figure 10: time breakdown of wide GPU joins.
+
+Two payload columns per relation, |S| = 2|R|, 100% match ratio.
+Materialization dominates the *-UM implementations; the paper's headline
+speedups appear here: SMJ-OM ~1.6x SMJ-UM, PHJ-OM ~2.3x PHJ-UM and
+~1.4x SMJ-OM, with PHJ-OM the overall winner and NPJ the slowest.
+"""
+
+from __future__ import annotations
+
+from ...workloads.generators import JoinWorkloadSpec, generate_join_workload
+from ..harness import (
+    DEFAULT_SCALE,
+    ExperimentResult,
+    make_setup,
+    phase_columns,
+    run_algorithm,
+)
+from .fig08 import PAPER_R_SIZES
+
+ALGORITHMS = ("NPJ", "SMJ-UM", "SMJ-OM", "PHJ-UM", "PHJ-OM")
+
+
+def run(scale: float = DEFAULT_SCALE, seed: int = 0) -> ExperimentResult:
+    setup = make_setup(scale)
+    result = ExperimentResult(
+        experiment_id="fig10",
+        title="Time breakdown of wide joins (2 payload columns/side, ms)",
+        headers=["|R| tuples", "algorithm", "transform_ms", "match_ms",
+                 "materialize_ms", "total_ms", "materialize_frac"],
+    )
+    largest = {}
+    for paper_rows in PAPER_R_SIZES:
+        spec = JoinWorkloadSpec(
+            r_rows=setup.rows(paper_rows),
+            s_rows=setup.rows(2 * paper_rows),
+            r_payload_columns=2,
+            s_payload_columns=2,
+            seed=seed,
+        )
+        r, s = generate_join_workload(spec)
+        for name in ALGORITHMS:
+            res = run_algorithm(name, r, s, setup)
+            t, m, z = phase_columns(res)
+            result.add_row(
+                spec.r_rows, name, t, m, z, res.total_seconds * 1e3,
+                res.phase_fraction("materialize"),
+            )
+            largest[name] = res.total_seconds
+    result.findings["smj_om_speedup_over_smj_um"] = largest["SMJ-UM"] / largest["SMJ-OM"]
+    result.findings["smj_om_speedup_over_phj_um"] = largest["PHJ-UM"] / largest["SMJ-OM"]
+    result.findings["phj_om_speedup_over_phj_um"] = largest["PHJ-UM"] / largest["PHJ-OM"]
+    result.findings["phj_om_speedup_over_smj_om"] = largest["SMJ-OM"] / largest["PHJ-OM"]
+    result.add_note("findings computed at the largest size point (paper: 1G ⋈ 2G)")
+    return result

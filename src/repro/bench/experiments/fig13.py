@@ -1,0 +1,57 @@
+"""Figure 13: effect of the match ratio (1.5G ⋈ 1.5G, 2 payloads/side).
+
+High match ratios materialize more data, favouring *-OM; below ~25% the
+unclustered gathers touch little data and *-UM (especially PHJ-UM) win.
+This is the crossover that drives the Figure 18 decision tree.
+"""
+
+from __future__ import annotations
+
+from ...workloads.generators import JoinWorkloadSpec, generate_join_workload
+from ..harness import (
+    DEFAULT_SCALE,
+    ExperimentResult,
+    make_setup,
+    run_algorithm,
+    throughput_mtuples,
+)
+
+PAPER_ROWS = 1 << 27
+MATCH_RATIOS = (0.03, 0.125, 0.25, 0.5, 0.75, 1.0)
+ALGORITHMS = ("SMJ-UM", "SMJ-OM", "PHJ-UM", "PHJ-OM")
+
+
+def run(scale: float = DEFAULT_SCALE, seed: int = 0) -> ExperimentResult:
+    setup = make_setup(scale)
+    rows = setup.rows(PAPER_ROWS)
+    result = ExperimentResult(
+        experiment_id="fig13",
+        title="Effect of match ratio (throughput, Mtuples/s)",
+        headers=["match_ratio"] + list(ALGORITHMS) + ["winner"],
+    )
+    winners = {}
+    for ratio in MATCH_RATIOS:
+        spec = JoinWorkloadSpec(
+            r_rows=rows,
+            s_rows=rows,
+            r_payload_columns=2,
+            s_payload_columns=2,
+            match_ratio=ratio,
+            seed=seed,
+        )
+        r, s = generate_join_workload(spec)
+        throughputs = {
+            name: throughput_mtuples(run_algorithm(name, r, s, setup))
+            for name in ALGORITHMS
+        }
+        winner = max(throughputs, key=throughputs.get)
+        winners[ratio] = winner
+        result.add_row(ratio, *[throughputs[a] for a in ALGORITHMS], winner)
+    result.findings["low_ratio_winner_is_um"] = float(
+        winners[MATCH_RATIOS[0]].endswith("UM")
+    )
+    result.findings["high_ratio_winner_is_om"] = float(
+        winners[1.0].endswith("OM")
+    )
+    result.add_note("paper: *-OM win above ~25% match; PHJ-UM best at low ratios")
+    return result

@@ -1,0 +1,69 @@
+"""Figure 14: effect of foreign-key skewness (Zipf factor sweep).
+
+1.5G ⋈ 1.5G with two payload columns per side, the foreign keys drawn
+from a Zipf distribution.  The paper observes:
+
+* PHJ-UM's bucket-chain partitioning degrades sharply past Zipf ~1
+  (atomic contention on hot chains);
+* RADIX-PARTITION (PHJ-OM, SMJ-*) stays flat;
+* materialization shrinks with skew (few primary keys have matches),
+  making SMJ-UM competitive at extreme skew;
+* PHJ-OM is best everywhere.
+"""
+
+from __future__ import annotations
+
+from ...workloads.generators import JoinWorkloadSpec, generate_join_workload
+from ..harness import (
+    DEFAULT_SCALE,
+    ExperimentResult,
+    make_setup,
+    run_algorithm,
+)
+
+PAPER_ROWS = 1 << 27
+ZIPF_FACTORS = (0.0, 0.5, 0.9, 1.05, 1.25, 1.5, 1.75)
+ALGORITHMS = ("SMJ-UM", "SMJ-OM", "PHJ-UM", "PHJ-OM")
+
+
+def run(scale: float = DEFAULT_SCALE, seed: int = 0) -> ExperimentResult:
+    setup = make_setup(scale)
+    rows = setup.rows(PAPER_ROWS)
+    result = ExperimentResult(
+        experiment_id="fig14",
+        title="Effect of foreign-key skewness (total ms; PHJ-UM transform ms)",
+        headers=["zipf"] + list(ALGORITHMS) + ["phj_um_transform_ms", "winner"],
+    )
+    phj_um_transform = {}
+    totals = {}
+    for zipf in ZIPF_FACTORS:
+        spec = JoinWorkloadSpec(
+            r_rows=rows,
+            s_rows=rows,
+            r_payload_columns=2,
+            s_payload_columns=2,
+            zipf_factor=zipf,
+            seed=seed,
+        )
+        r, s = generate_join_workload(spec)
+        times = {}
+        for name in ALGORITHMS:
+            res = run_algorithm(name, r, s, setup)
+            times[name] = res.total_seconds * 1e3
+            if name == "PHJ-UM":
+                phj_um_transform[zipf] = res.phase_seconds.get("transform", 0.0) * 1e3
+        winner = min(times, key=times.get)
+        result.add_row(zipf, *[times[a] for a in ALGORITHMS],
+                       phj_um_transform[zipf], winner)
+        totals[zipf] = times
+    result.findings["phj_um_transform_blowup"] = (
+        phj_um_transform[ZIPF_FACTORS[-1]] / phj_um_transform[0.0]
+    )
+    result.findings["phj_om_flatness"] = (
+        totals[ZIPF_FACTORS[-1]]["PHJ-OM"] / totals[0.0]["PHJ-OM"]
+    )
+    result.findings["phj_om_always_best"] = float(
+        all(min(t, key=t.get) == "PHJ-OM" for t in totals.values())
+    )
+    result.add_note("paper: PHJ-UM partitioning blows up past Zipf 1; PHJ-OM flat and best")
+    return result

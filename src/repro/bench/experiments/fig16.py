@@ -1,0 +1,49 @@
+"""Figure 16: sequences of joins over a star schema.
+
+|F| = 2^27 fact tuples with N foreign keys; |D_i| = 2^25 dimension
+tuples.  Foreign keys are materialized right before the join that needs
+them.  As the sequence grows, every join materializes one more carried
+payload column, so the *-OM advantage grows with N (paper: PHJ-OM is
+1.49x PHJ-UM at N=2 and 1.78x at N=8).
+"""
+
+from __future__ import annotations
+
+from ...joins.pipeline import JoinPipeline
+from ...joins.planner import make_algorithm
+from ...workloads.sequences import generate_star_schema
+from ..harness import DEFAULT_SCALE, ExperimentResult, make_setup
+
+PAPER_FACT_ROWS = 1 << 27
+PAPER_DIM_ROWS = 1 << 25
+SEQUENCE_LENGTHS = (1, 2, 4, 6, 8)
+ALGORITHMS = ("SMJ-UM", "SMJ-OM", "PHJ-UM", "PHJ-OM")
+
+
+def run(scale: float = DEFAULT_SCALE, seed: int = 0) -> ExperimentResult:
+    setup = make_setup(scale)
+    fact_rows = setup.rows(PAPER_FACT_ROWS)
+    dim_rows = setup.rows(PAPER_DIM_ROWS)
+    result = ExperimentResult(
+        experiment_id="fig16",
+        title="Sequences of joins (throughput, Mtuples/s)",
+        headers=["num_joins"] + list(ALGORITHMS) + ["phj_om_over_phj_um"],
+    )
+    ratios = {}
+    for n_joins in SEQUENCE_LENGTHS:
+        fact, fk_names, dims = generate_star_schema(
+            fact_rows, dim_rows, n_joins, seed=seed
+        )
+        throughputs = {}
+        for name in ALGORITHMS:
+            pipeline = JoinPipeline(make_algorithm(name, setup.config))
+            res = pipeline.run(fact, fk_names, dims, device=setup.device, seed=seed)
+            throughputs[name] = res.throughput_tuples_per_s / 1e6
+        ratio = throughputs["PHJ-OM"] / throughputs["PHJ-UM"]
+        ratios[n_joins] = ratio
+        result.add_row(n_joins, *[throughputs[a] for a in ALGORITHMS], ratio)
+    result.findings["phj_om_ratio_at_2"] = ratios.get(2, 0.0)
+    result.findings["phj_om_ratio_at_8"] = ratios.get(8, 0.0)
+    result.findings["advantage_grows"] = float(ratios[8] > ratios[2])
+    result.add_note("paper: PHJ-OM/PHJ-UM grows from 1.49x (N=2) to 1.78x (N=8)")
+    return result

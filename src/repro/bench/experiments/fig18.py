@@ -1,0 +1,89 @@
+"""Figure 18: decision-tree validation (plus the calibrated cost planner).
+
+Runs the four implementations over the microbenchmark grid (width x
+match ratio x skew x data types) and checks two planners against the
+measured winner: the Figure 18a decision tree and the Section 5.4
+cost-based planner built on profiled primitives
+(:mod:`repro.joins.cost_planner`).  A pick counts as correct if it is
+the winner or within ``TOLERANCE`` of the winner's time (the paper's
+trees are heuristics, not oracles).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from ...joins.cost_planner import (
+    calibrate_primitives,
+    recommend_join_algorithm_costbased,
+)
+from ...joins.planner import JoinWorkloadProfile, recommend_join_algorithm
+from ...relational.types import INT32, INT64
+from ...workloads.generators import JoinWorkloadSpec, generate_join_workload
+from ..harness import DEFAULT_SCALE, ExperimentResult, make_setup, run_algorithm
+
+PAPER_ROWS = 1 << 26
+ALGORITHMS = ("SMJ-UM", "SMJ-OM", "PHJ-UM", "PHJ-OM")
+TOLERANCE = 0.15
+
+GRID = {
+    "payload_columns": (1, 3),
+    "match_ratio": (0.1, 1.0),
+    "zipf_factor": (0.0, 1.5),
+    "payload_type": (INT32, INT64),
+}
+
+
+def run(scale: float = DEFAULT_SCALE, seed: int = 0) -> ExperimentResult:
+    setup = make_setup(scale)
+    rows = setup.rows(PAPER_ROWS)
+    calibration = calibrate_primitives(
+        setup.device, sample_items=setup.rows(1 << 27)
+    )
+    result = ExperimentResult(
+        experiment_id="fig18",
+        title="Planner validation over the microbenchmark grid",
+        headers=["payloads", "match", "zipf", "ptype", "winner", "tree",
+                 "tree_regret", "costbased", "cost_regret"],
+    )
+    tree_ok = cost_ok = cases = 0
+    for cols, ratio, zipf, ptype in product(
+        GRID["payload_columns"], GRID["match_ratio"],
+        GRID["zipf_factor"], GRID["payload_type"],
+    ):
+        spec = JoinWorkloadSpec(
+            r_rows=rows, s_rows=rows,
+            r_payload_columns=cols, s_payload_columns=cols,
+            match_ratio=ratio, zipf_factor=zipf,
+            payload_type=ptype, seed=seed,
+        )
+        r, s = generate_join_workload(spec)
+        times = {
+            name: run_algorithm(name, r, s, setup).total_seconds
+            for name in ALGORITHMS
+        }
+        winner = min(times, key=times.get)
+        profile = JoinWorkloadProfile(
+            r_rows=spec.r_rows, s_rows=spec.s_rows,
+            r_payload_columns=cols, s_payload_columns=cols,
+            key_bytes=4, payload_bytes=ptype.itemsize,
+            match_ratio=ratio, zipf_factor=zipf,
+        )
+        tree_pick = recommend_join_algorithm(profile).algorithm
+        cost_pick = recommend_join_algorithm_costbased(
+            profile, calibration, setup.config.tuples_per_partition
+        ).algorithm
+        tree_regret = times[tree_pick] / times[winner] - 1.0
+        cost_regret = times[cost_pick] / times[winner] - 1.0
+        tree_ok += tree_regret <= TOLERANCE
+        cost_ok += cost_regret <= TOLERANCE
+        cases += 1
+        result.add_row(cols, ratio, zipf, ptype.name, winner,
+                       tree_pick, tree_regret, cost_pick, cost_regret)
+    result.findings["planner_accuracy"] = tree_ok / cases
+    result.findings["costbased_accuracy"] = cost_ok / cases
+    result.add_note(
+        f"a pick is correct if within {TOLERANCE:.0%} of the measured winner; "
+        "'costbased' is the Section 5.4 profile-the-primitives planner"
+    )
+    return result

@@ -1,0 +1,149 @@
+"""Experiment harness: scaled setups, runners, and result tables.
+
+Every benchmark in ``benchmarks/`` drives one experiment module in
+``repro.bench.experiments``; each experiment reproduces one table or
+figure of the paper (see DESIGN.md's per-experiment index).
+
+Scaling convention: the paper's microbenchmarks join 2^27-tuple
+relations on a physical A100.  We run the same experiments at
+``DEFAULT_SCALE`` of that size with the device *geometry* (caches,
+shared memory, launch overhead) scaled identically — see
+:func:`repro.gpusim.device.scaled_device` — so every regime boundary
+(L2 residency, partition pass counts, shared-memory table sizes) sits
+where it does at paper scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..gpusim.device import A100, CPU_SERVER, DeviceSpec, scaled_device
+from ..joins.base import JoinConfig, JoinResult
+from ..joins.planner import make_algorithm
+from ..relational.relation import Relation
+
+#: Default workload scale relative to the paper (2^27 -> 2^18 tuples).
+DEFAULT_SCALE = 2.0 ** -9
+
+#: The paper's default microbenchmark row count.
+PAPER_ROWS = 1 << 27
+
+#: Shared-memory co-partition target at paper scale (Section 4.3).
+PAPER_TUPLES_PER_PARTITION = 4096
+
+
+@dataclass
+class Setup:
+    """A scaled device + matching join configuration."""
+
+    device: DeviceSpec
+    cpu_device: DeviceSpec
+    config: JoinConfig
+    scale: float
+
+    def rows(self, paper_rows: int) -> int:
+        """Scale a paper-scale row count (>= 64 rows)."""
+        return max(64, int(paper_rows * self.scale))
+
+
+def make_setup(
+    scale: float = DEFAULT_SCALE,
+    device: DeviceSpec = A100,
+    config_overrides: Optional[dict] = None,
+) -> Setup:
+    """Build the standard scaled experiment setup."""
+    tuples = max(32, int(PAPER_TUPLES_PER_PARTITION * scale))
+    overrides = dict(tuples_per_partition=tuples, bucket_tuples=tuples)
+    overrides.update(config_overrides or {})
+    return Setup(
+        device=scaled_device(device, scale),
+        cpu_device=scaled_device(CPU_SERVER, scale),
+        config=JoinConfig(**overrides),
+        scale=scale,
+    )
+
+
+def run_algorithm(
+    name: str,
+    r: Relation,
+    s: Relation,
+    setup: Setup,
+    seed: int = 7,
+    config: Optional[JoinConfig] = None,
+) -> JoinResult:
+    """Run one named join algorithm under a setup."""
+    algorithm = make_algorithm(name, config or setup.config)
+    device = setup.cpu_device if name == "CPU" else setup.device
+    return algorithm.join(r, s, device=device, seed=seed)
+
+
+def median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+@dataclass
+class ExperimentResult:
+    """A rendered reproduction of one paper table/figure."""
+
+    experiment_id: str
+    title: str
+    headers: List[str]
+    rows: List[Sequence] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    #: named scalar findings (speedups, fractions) for tests/EXPERIMENTS.md
+    findings: Dict[str, float] = field(default_factory=dict)
+
+    def add_row(self, *values) -> None:
+        self.rows.append(values)
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        """Plain-text table in the paper's row/series layout."""
+        widths = [len(h) for h in self.headers]
+        formatted_rows = []
+        for row in self.rows:
+            cells = [_format_cell(v) for v in row]
+            widths = [max(w, len(c)) for w, c in zip(widths, cells)]
+            formatted_rows.append(cells)
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for cells in formatted_rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(cells, widths)))
+        for key, value in self.findings.items():
+            lines.append(f"finding: {key} = {_format_cell(value)}")
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000 or magnitude < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def phase_columns(result: JoinResult) -> List[float]:
+    """[transform, match, materialize] milliseconds of a join result."""
+    return [
+        result.phase_seconds.get("transform", 0.0) * 1e3,
+        result.phase_seconds.get("match", 0.0) * 1e3,
+        result.phase_seconds.get("materialize", 0.0) * 1e3,
+    ]
+
+
+def throughput_mtuples(result) -> float:
+    """Throughput in million tuples per (simulated) second."""
+    return result.throughput_tuples_per_s / 1e6

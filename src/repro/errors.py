@@ -1,0 +1,44 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch one base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class DeviceOutOfMemoryError(ReproError):
+    """Raised when a simulated device allocation exceeds device capacity."""
+
+    def __init__(self, requested: int, in_use: int, capacity: int):
+        self.requested = requested
+        self.in_use = in_use
+        self.capacity = capacity
+        super().__init__(
+            f"device out of memory: requested {requested} B with {in_use} B "
+            f"in use exceeds capacity {capacity} B"
+        )
+
+
+class AllocationError(ReproError):
+    """Raised on invalid allocator usage (e.g. double free)."""
+
+
+class InvalidRelationError(ReproError):
+    """Raised when a relation or column is malformed for the operation."""
+
+
+class JoinConfigError(ReproError):
+    """Raised when a join is configured with invalid or unsupported options."""
+
+
+class AggregationConfigError(ReproError):
+    """Raised when a group-by is configured with invalid options."""
+
+
+class WorkloadError(ReproError):
+    """Raised when workload generator parameters are invalid."""

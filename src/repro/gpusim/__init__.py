@@ -1,0 +1,48 @@
+"""GPU execution simulator substrate.
+
+Real numpy data movement + measured memory traffic + a calibrated cost
+model standing in for the CUDA kernels and Ampere GPUs of the paper.
+See DESIGN.md ("Hardware substitution") for the full rationale.
+"""
+
+from .context import GPUContext
+from .costmodel import CostModel, TimeBreakdown
+from .device import (
+    A100,
+    BUILTIN_DEVICES,
+    CACHE_LINE_BYTES,
+    CPU_SERVER,
+    RTX3090,
+    SECTOR_BYTES,
+    WARP_SIZE,
+    DeviceSpec,
+    get_device,
+    scaled_device,
+)
+from .kernel import KernelRecord, KernelStats
+from .memory import DeviceArray, DeviceMemory
+from .profiler import ProfileCounters, Profiler
+from .timeline import PHASES, PhaseTimeline
+
+__all__ = [
+    "A100",
+    "BUILTIN_DEVICES",
+    "CACHE_LINE_BYTES",
+    "CPU_SERVER",
+    "CostModel",
+    "DeviceArray",
+    "DeviceMemory",
+    "DeviceSpec",
+    "GPUContext",
+    "KernelRecord",
+    "KernelStats",
+    "PHASES",
+    "PhaseTimeline",
+    "ProfileCounters",
+    "Profiler",
+    "RTX3090",
+    "SECTOR_BYTES",
+    "TimeBreakdown",
+    "WARP_SIZE",
+    "get_device",
+]

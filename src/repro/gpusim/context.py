@@ -1,0 +1,87 @@
+"""Execution context binding a device, its memory, cost model and timeline.
+
+A :class:`GPUContext` is the object algorithms and primitives operate on:
+primitives submit :class:`~repro.gpusim.kernel.KernelStats` records and
+allocate device arrays through it; algorithms open phases on it; the
+bench harness reads simulated times and memory peaks from it afterwards.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+import numpy as np
+
+from .costmodel import CostModel
+from .device import A100, DeviceSpec
+from .kernel import KernelRecord, KernelStats
+from .memory import DeviceMemory
+from .profiler import Profiler
+from .timeline import PhaseTimeline
+
+
+class GPUContext:
+    """All mutable state of one simulated device execution.
+
+    Parameters
+    ----------
+    device:
+        The :class:`DeviceSpec` to simulate (default: A100).
+    mem_capacity:
+        Override for the simulated memory capacity in bytes.  ``None``
+        uses the device's physical capacity; pass e.g. ``0`` -> unlimited
+        via ``enforce_capacity=False``.
+    enforce_capacity:
+        When False (default), allocations never raise OOM — convenient
+        for scaled-down experiments while still tracking peaks.
+    seed:
+        Seed for the context RNG (used by the bucket-chain partitioner to
+        simulate atomic non-determinism).
+    """
+
+    def __init__(
+        self,
+        device: DeviceSpec = A100,
+        mem_capacity: Optional[int] = None,
+        enforce_capacity: bool = False,
+        seed: Optional[int] = None,
+    ):
+        self.device = device
+        capacity = mem_capacity if mem_capacity is not None else device.global_mem_bytes
+        self.mem = DeviceMemory(capacity if enforce_capacity else None)
+        self.cost = CostModel(device)
+        self.timeline = PhaseTimeline()
+        self.profiler = Profiler(device)
+        self.rng = np.random.default_rng(seed)
+
+    # -- kernel submission ---------------------------------------------------
+
+    def submit(self, stats: KernelStats, phase: Optional[str] = None, **extra) -> float:
+        """Account one simulated kernel; returns its simulated seconds."""
+        stats.validate()
+        seconds = self.cost.time(stats)
+        record = KernelRecord(stats=stats, seconds=seconds, phase=phase or "", extra=extra)
+        self.timeline.add(record)
+        self.profiler.record(record)
+        return seconds
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Open an accounting phase for both time and memory peaks."""
+        self.mem.set_phase(name)
+        try:
+            with self.timeline.phase(name):
+                yield
+        finally:
+            self.mem.set_phase(None)
+
+    # -- conveniences ----------------------------------------------------------
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return self.timeline.total_seconds()
+
+    def fork(self, seed: Optional[int] = None) -> "GPUContext":
+        """A fresh context on the same device (new memory/timeline)."""
+        return GPUContext(device=self.device, seed=seed)

@@ -1,0 +1,166 @@
+"""Simulated device descriptions.
+
+The paper evaluates on two Ampere GPUs (Table 3) and a NUMA CPU server
+(the Balkesen et al. radix-join baseline).  A :class:`DeviceSpec` captures
+the parameters the cost model needs: memory bandwidth, cache sizes, the
+number of execution units, and a handful of calibration constants that
+convert measured memory traffic into simulated seconds (see
+``repro.gpusim.costmodel`` for how each constant is used and how it was
+calibrated against the paper's published counters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+#: Size of a DRAM sector (the granularity of GPU memory transactions).
+SECTOR_BYTES = 32
+
+#: Size of an L1/L2 cache line (four sectors on Ampere).
+CACHE_LINE_BYTES = 128
+
+#: Number of threads in a warp.
+WARP_SIZE = 32
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of a simulated execution device.
+
+    Attributes mirror Table 3 of the paper plus the calibration constants
+    used by :class:`repro.gpusim.costmodel.CostModel`.
+    """
+
+    name: str
+    kind: str  # "gpu" or "cpu"
+    num_execution_units: int  # SMs for GPUs, cores for CPUs
+    clock_hz: float
+    l1_bytes: int
+    shared_mem_bytes: int  # max shared memory per SM (0 for CPUs)
+    l2_bytes: int
+    global_mem_bytes: int
+    mem_bandwidth: float  # bytes / second, theoretical peak
+
+    # --- calibration constants -------------------------------------------
+    #: Fraction of peak bandwidth achieved by latency-bound random DRAM
+    #: traffic (uncoalesced sector fetches).  Calibrated so the unclustered
+    #: vs. clustered GATHER gap matches Table 4 (~8.5x) and the Figure 7
+    #: sort-vs-unclustered crossover sits on the paper's side.
+    random_derating: float = 0.30
+    #: Bandwidth multiplier for traffic served from L2 instead of DRAM.
+    l2_bandwidth_factor: float = 3.0
+    #: Fixed cost of launching one kernel.
+    kernel_launch_overhead_s: float = 5e-6
+    #: Cost of one conflicted atomic update (applied on top of traffic).
+    atomic_conflict_cost_s: float = 2.0e-9
+    #: Per-item instruction cost charged per execution unit.  Dominant for
+    #: CPUs; a small correction for GPUs.
+    per_item_cost_s: float = 2.0e-12
+    #: Effective host<->device interconnect bandwidth (PCIe 4.0 x16 for
+    #: the GPUs; irrelevant for the CPU baseline).  Used by out-of-core
+    #: joins that stage chunks through host memory.
+    interconnect_bandwidth: float = 25e9
+
+    @property
+    def is_gpu(self) -> bool:
+        return self.kind == "gpu"
+
+    def with_overrides(self, **kwargs) -> "DeviceSpec":
+        """Return a copy of this spec with selected fields replaced."""
+        return replace(self, **kwargs)
+
+    def describe(self) -> str:
+        """Human-readable one-line summary of the device."""
+        bw_gbs = self.mem_bandwidth / 1e9
+        return (
+            f"{self.name} ({self.kind}, {self.num_execution_units} units, "
+            f"{bw_gbs:.0f} GB/s, L2 {self.l2_bytes // (1024 * 1024)} MB)"
+        )
+
+
+#: NVIDIA A100 40 GB (Table 3, right column).
+A100 = DeviceSpec(
+    name="A100",
+    kind="gpu",
+    num_execution_units=108,
+    clock_hz=1.095e9,
+    l1_bytes=192 * 1024,
+    shared_mem_bytes=164 * 1024,
+    l2_bytes=40 * 1024 * 1024,
+    global_mem_bytes=40 * 1024 ** 3,
+    mem_bandwidth=1555e9,
+)
+
+#: NVIDIA GeForce RTX 3090 (Table 3, left column).
+RTX3090 = DeviceSpec(
+    name="RTX3090",
+    kind="gpu",
+    num_execution_units=82,
+    clock_hz=1.395e9,
+    l1_bytes=128 * 1024,
+    shared_mem_bytes=100 * 1024,
+    l2_bytes=6 * 1024 * 1024,
+    global_mem_bytes=24 * 1024 ** 3,
+    mem_bandwidth=936e9,
+)
+
+#: Two-socket NUMA CPU server in the spirit of the Balkesen et al. baseline.
+#: The per-item cost dominates; it is calibrated so the GPU joins are
+#: 20-35x faster than the CPU radix join (Figure 8).
+CPU_SERVER = DeviceSpec(
+    name="CPU-2S-NUMA",
+    kind="cpu",
+    num_execution_units=64,
+    clock_hz=2.5e9,
+    l1_bytes=32 * 1024,
+    shared_mem_bytes=0,
+    l2_bytes=256 * 1024 * 1024,  # aggregate LLC across sockets
+    global_mem_bytes=512 * 1024 ** 3,
+    mem_bandwidth=100e9,
+    random_derating=0.15,
+    l2_bandwidth_factor=2.0,
+    kernel_launch_overhead_s=0.0,
+    atomic_conflict_cost_s=8.0e-9,
+    per_item_cost_s=2.8e-9,
+)
+
+#: Registry of the built-in devices keyed by name.
+BUILTIN_DEVICES = {spec.name: spec for spec in (A100, RTX3090, CPU_SERVER)}
+
+
+def scaled_device(spec: DeviceSpec, scale: float) -> DeviceSpec:
+    """Shrink a device's *geometry* by ``scale`` for scaled-down workloads.
+
+    The paper's effects are regime effects: an unclustered gather is slow
+    *when its footprint exceeds L2*; a partition pass count depends on
+    *how many partitions fit shared memory*.  Running the evaluation at
+    1/128th of the paper's 2^27-tuple workloads therefore also shrinks
+    the caches, shared memory, device memory, and the per-kernel launch
+    overhead by the same factor, so every crossover sits where it does at
+    paper scale.  Bandwidth and per-item costs are intensive quantities
+    and stay unchanged.  ``scale=1`` returns the spec untouched.
+    """
+    if scale <= 0 or scale > 1:
+        raise ValueError(f"scale must be in (0, 1], got {scale}")
+    if scale == 1.0:
+        return spec
+    return spec.with_overrides(
+        name=f"{spec.name}@{scale:g}",
+        l1_bytes=max(1024, int(spec.l1_bytes * scale)),
+        shared_mem_bytes=max(1024, int(spec.shared_mem_bytes * scale)),
+        l2_bytes=max(4096, int(spec.l2_bytes * scale)),
+        global_mem_bytes=max(1 << 20, int(spec.global_mem_bytes * scale)),
+        kernel_launch_overhead_s=spec.kernel_launch_overhead_s * scale,
+    )
+
+
+def get_device(name: str) -> DeviceSpec:
+    """Look up a built-in device spec by name.
+
+    Raises ``KeyError`` with the list of known devices if *name* is unknown.
+    """
+    try:
+        return BUILTIN_DEVICES[name]
+    except KeyError:
+        known = ", ".join(sorted(BUILTIN_DEVICES))
+        raise KeyError(f"unknown device {name!r}; known devices: {known}") from None

@@ -1,0 +1,123 @@
+"""Kernel-level traffic accounting.
+
+Every simulated kernel (one primitive invocation) reports a
+:class:`KernelStats` record describing the memory traffic it generates.
+The cost model (``repro.gpusim.costmodel``) converts a record into
+simulated seconds; the profiler aggregates records into Nsight-like
+counters (Table 4 of the paper).
+
+The distinction that drives the whole paper is encoded here:
+
+* *sequential* traffic — coalesced streaming reads/writes, charged at
+  peak bandwidth;
+* *random* traffic — gathers/scatters described by the number of distinct
+  32-byte sectors touched (``random_sector_touches``), how many of those
+  are cold (first touch, must come from DRAM), and the locality footprint
+  used to decide whether repeated touches hit L2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class KernelStats:
+    """Memory-traffic and work description of one simulated kernel.
+
+    All byte quantities are totals for the kernel.  ``items`` is the number
+    of logical elements processed (used for the per-item instruction cost
+    and for profiler counters).
+    """
+
+    name: str
+    items: int = 0
+    launches: int = 1
+
+    # Coalesced streaming traffic.
+    seq_read_bytes: int = 0
+    seq_write_bytes: int = 0
+
+    # Random (gather/scatter) traffic, measured by sector analysis.
+    random_requests: int = 0  #: warp-level load/store requests
+    random_sector_touches: int = 0  #: sum over warps of distinct sectors
+    random_cold_sectors: int = 0  #: globally distinct sectors (cold misses)
+    #: Mean per-warp address span in bytes; the cost model compares this
+    #: against the L2 size to decide if repeated touches hit L2.
+    locality_footprint_bytes: float = 0.0
+
+    # Host <-> device staging traffic (out-of-core joins).
+    host_transfer_bytes: int = 0
+
+    # Atomic-update behaviour (bucket-chain partitioning, hash group-by).
+    atomic_ops: int = 0
+    #: >= 1; multiplier reflecting serialization of conflicting atomics
+    #: (e.g. a hot partition under Zipf-skewed keys).
+    atomic_conflict_factor: float = 1.0
+
+    def merged_with(self, other: "KernelStats", name: str | None = None) -> "KernelStats":
+        """Combine two stats records (weighted merge of footprints)."""
+        touches = self.random_sector_touches + other.random_sector_touches
+        if touches:
+            footprint = (
+                self.locality_footprint_bytes * self.random_sector_touches
+                + other.locality_footprint_bytes * other.random_sector_touches
+            ) / touches
+        else:
+            footprint = 0.0
+        atomics = self.atomic_ops + other.atomic_ops
+        if atomics:
+            conflict = (
+                self.atomic_conflict_factor * self.atomic_ops
+                + other.atomic_conflict_factor * other.atomic_ops
+            ) / atomics
+        else:
+            conflict = 1.0
+        return KernelStats(
+            name=name or self.name,
+            items=self.items + other.items,
+            launches=self.launches + other.launches,
+            seq_read_bytes=self.seq_read_bytes + other.seq_read_bytes,
+            seq_write_bytes=self.seq_write_bytes + other.seq_write_bytes,
+            host_transfer_bytes=self.host_transfer_bytes + other.host_transfer_bytes,
+            random_requests=self.random_requests + other.random_requests,
+            random_sector_touches=touches,
+            random_cold_sectors=self.random_cold_sectors + other.random_cold_sectors,
+            locality_footprint_bytes=footprint,
+            atomic_ops=atomics,
+            atomic_conflict_factor=conflict,
+        )
+
+    @property
+    def total_seq_bytes(self) -> int:
+        return self.seq_read_bytes + self.seq_write_bytes
+
+    @property
+    def sectors_per_request(self) -> float:
+        """Average distinct sectors touched per warp request (Table 4)."""
+        if not self.random_requests:
+            return 0.0
+        return self.random_sector_touches / self.random_requests
+
+    def validate(self) -> None:
+        """Sanity-check invariants; raises ``ValueError`` on violation."""
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name in ("name",):
+                continue
+            if isinstance(value, (int, float)) and value < 0:
+                raise ValueError(f"KernelStats.{f.name} must be >= 0, got {value}")
+        if self.random_cold_sectors > self.random_sector_touches:
+            raise ValueError("cold sectors cannot exceed total sector touches")
+        if self.atomic_conflict_factor < 1.0:
+            raise ValueError("atomic_conflict_factor must be >= 1")
+
+
+@dataclass
+class KernelRecord:
+    """A submitted kernel together with its simulated execution time."""
+
+    stats: KernelStats
+    seconds: float
+    phase: str = ""
+    extra: dict = field(default_factory=dict)

@@ -1,0 +1,195 @@
+"""Simulated device memory with peak tracking.
+
+The paper dedicates Section 4.4 (Tables 1 and 2) and Table 5 to the
+*peak memory consumption* of the GFUR vs. GFTR patterns.  To reproduce
+that analysis, all device-resident arrays in this library are allocated
+through a :class:`DeviceMemory` allocator that tracks current and peak
+usage, supports scoped phase accounting, and raises
+:class:`~repro.errors.DeviceOutOfMemoryError` when the simulated device
+capacity is exceeded.
+
+Arrays are real numpy arrays wrapped in :class:`DeviceArray`; freeing a
+DeviceArray releases its simulated bytes (the numpy buffer is dropped so
+Python can reclaim host memory too).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from ..errors import AllocationError, DeviceOutOfMemoryError
+
+
+class DeviceArray:
+    """A device-resident array handle.
+
+    Wraps a numpy array (``.data``) plus the accounting hooks of the
+    allocator that produced it.  The underlying numpy semantics are real;
+    only the residency accounting is simulated.
+    """
+
+    __slots__ = ("_data", "_allocator", "label", "_freed", "nbytes")
+
+    def __init__(self, data: np.ndarray, allocator: "DeviceMemory", label: str):
+        self._data = data
+        self._allocator = allocator
+        self.label = label
+        self._freed = False
+        self.nbytes = int(data.nbytes)
+
+    @property
+    def data(self) -> np.ndarray:
+        if self._freed:
+            raise AllocationError(f"use after free of device array {self.label!r}")
+        return self._data
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    @property
+    def freed(self) -> bool:
+        return self._freed
+
+    def free(self) -> None:
+        """Release this array's simulated bytes back to the device."""
+        self._allocator.free(self)
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "freed" if self._freed else f"{self.nbytes} B"
+        return f"DeviceArray({self.label!r}, {state})"
+
+
+class DeviceMemory:
+    """Tracking allocator for a simulated device.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Simulated device capacity.  ``None`` disables the OOM check
+        (useful for scaled-down unit tests).
+    """
+
+    def __init__(self, capacity_bytes: Optional[int] = None):
+        self.capacity_bytes = capacity_bytes
+        self.current_bytes = 0
+        self.peak_bytes = 0
+        self._live: Dict[int, DeviceArray] = {}
+        self._phase_peaks: Dict[str, int] = {}
+        self._current_phase: Optional[str] = None
+        self.alloc_count = 0
+        self.free_count = 0
+
+    # -- allocation --------------------------------------------------------
+
+    def alloc(self, shape, dtype, label: str = "") -> DeviceArray:
+        """Allocate a zero-initialized device array."""
+        data = np.zeros(shape, dtype=dtype)
+        return self._register(data, label)
+
+    def from_host(self, array: np.ndarray, label: str = "") -> DeviceArray:
+        """Copy a host numpy array onto the device (counts toward usage)."""
+        return self._register(np.ascontiguousarray(array).copy(), label)
+
+    def adopt(self, array: np.ndarray, label: str = "") -> DeviceArray:
+        """Register an already-materialized array as device resident.
+
+        Unlike :meth:`from_host` this does not copy; use it when the array
+        was just produced by a primitive and is logically device memory.
+        """
+        return self._register(np.ascontiguousarray(array), label)
+
+    def _register(self, data: np.ndarray, label: str) -> DeviceArray:
+        nbytes = int(data.nbytes)
+        if (
+            self.capacity_bytes is not None
+            and self.current_bytes + nbytes > self.capacity_bytes
+        ):
+            raise DeviceOutOfMemoryError(nbytes, self.current_bytes, self.capacity_bytes)
+        arr = DeviceArray(data, self, label)
+        self._live[id(arr)] = arr
+        self.current_bytes += nbytes
+        self.alloc_count += 1
+        self._note_usage()
+        return arr
+
+    def free(self, arr: DeviceArray) -> None:
+        if arr._freed:
+            raise AllocationError(f"double free of device array {arr.label!r}")
+        if id(arr) not in self._live:
+            raise AllocationError(f"array {arr.label!r} not owned by this allocator")
+        del self._live[id(arr)]
+        self.current_bytes -= arr.nbytes
+        self.free_count += 1
+        arr._freed = True
+        arr._data = None  # type: ignore[assignment]
+
+    def free_all(self, arrays: Iterable[DeviceArray]) -> None:
+        for arr in arrays:
+            if not arr.freed:
+                self.free(arr)
+
+    def free_by_prefix(self, *prefixes: str) -> int:
+        """Free all live arrays whose label starts with any prefix."""
+        victims = [
+            arr for arr in self._live.values() if arr.label.startswith(prefixes)
+        ]
+        for arr in victims:
+            self.free(arr)
+        return len(victims)
+
+    # -- accounting --------------------------------------------------------
+
+    def _note_usage(self) -> None:
+        if self.current_bytes > self.peak_bytes:
+            self.peak_bytes = self.current_bytes
+        if self._current_phase is not None:
+            prev = self._phase_peaks.get(self._current_phase, 0)
+            if self.current_bytes > prev:
+                self._phase_peaks[self._current_phase] = self.current_bytes
+
+    def set_phase(self, phase: Optional[str]) -> None:
+        """Attribute subsequent peak tracking to *phase*."""
+        self._current_phase = phase
+        if phase is not None:
+            prev = self._phase_peaks.get(phase, 0)
+            self._phase_peaks[phase] = max(prev, self.current_bytes)
+
+    @property
+    def phase_peaks(self) -> Dict[str, int]:
+        """Peak bytes observed while each phase was active."""
+        return dict(self._phase_peaks)
+
+    @property
+    def live_labels(self) -> list:
+        """Labels of currently live arrays (debugging / leak tests)."""
+        return sorted(arr.label for arr in self._live.values())
+
+    @property
+    def live_count(self) -> int:
+        return len(self._live)
+
+    def reset_peak(self) -> None:
+        """Forget peak history (current usage is kept)."""
+        self.peak_bytes = self.current_bytes
+        self._phase_peaks.clear()
+
+    def assert_no_leaks(self, allowed_labels: Iterable[str] = ()) -> None:
+        """Raise :class:`AllocationError` if unexpected arrays are live."""
+        allowed = set(allowed_labels)
+        leaked = [label for label in self.live_labels if label not in allowed]
+        if leaked:
+            raise AllocationError(f"leaked device arrays: {leaked}")

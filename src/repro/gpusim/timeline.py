@@ -1,0 +1,81 @@
+"""Phase-structured execution timeline.
+
+Join and group-by algorithms in this library report their simulated time
+split into the three phases the paper uses throughout its evaluation
+(Figures 1, 9, 10, 14, 17): ``transform``, ``match`` (match finding /
+aggregation) and ``materialize``.  A :class:`PhaseTimeline` accumulates
+:class:`~repro.gpusim.kernel.KernelRecord` entries per phase.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+from .kernel import KernelRecord, KernelStats
+
+#: Canonical phase names used by all algorithms, in display order.
+PHASES = ("transform", "match", "materialize")
+
+
+class PhaseTimeline:
+    """Accumulates kernel records grouped by phase."""
+
+    def __init__(self):
+        self._records: "OrderedDict[str, List[KernelRecord]]" = OrderedDict()
+        self.current_phase: Optional[str] = None
+
+    def add(self, record: KernelRecord) -> None:
+        phase = record.phase or self.current_phase or "other"
+        record.phase = phase
+        self._records.setdefault(phase, []).append(record)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Attribute kernels submitted inside the block to *name*."""
+        previous = self.current_phase
+        self.current_phase = name
+        try:
+            yield
+        finally:
+            self.current_phase = previous
+
+    # -- queries -----------------------------------------------------------
+
+    def phase_seconds(self) -> Dict[str, float]:
+        """Total simulated seconds per phase."""
+        return {
+            phase: sum(r.seconds for r in records)
+            for phase, records in self._records.items()
+        }
+
+    def total_seconds(self) -> float:
+        return sum(sum(r.seconds for r in records) for records in self._records.values())
+
+    def records(self, phase: Optional[str] = None) -> List[KernelRecord]:
+        if phase is None:
+            return [r for records in self._records.values() for r in records]
+        return list(self._records.get(phase, []))
+
+    def kernel_count(self) -> int:
+        return sum(len(records) for records in self._records.values())
+
+    def merged_stats(self, phase: Optional[str] = None) -> KernelStats:
+        """Merge all kernel stats (optionally for one phase) into one record."""
+        merged = KernelStats(name=phase or "all", launches=0)
+        for record in self.records(phase):
+            merged = merged.merged_with(record.stats, name=merged.name)
+        return merged
+
+    def breakdown(self) -> "OrderedDict[str, float]":
+        """Phase seconds in canonical order, then any extra phases."""
+        seconds = self.phase_seconds()
+        ordered: "OrderedDict[str, float]" = OrderedDict()
+        for phase in PHASES:
+            if phase in seconds:
+                ordered[phase] = seconds[phase]
+        for phase, value in seconds.items():
+            if phase not in ordered:
+                ordered[phase] = value
+        return ordered

@@ -1,0 +1,47 @@
+"""CPU radix-join baseline (Balkesen et al., Figure 8).
+
+The paper compares against the multi-core optimized partitioned radix
+join of Balkesen et al., "adjusted ... to run efficiently on our NUMA
+machine".  We reuse the same partitioned-hash-join structure costed with
+the :data:`~repro.gpusim.device.CPU_SERVER` device model: per-tuple
+instruction costs and far lower memory bandwidth dominate, reproducing
+the 20-35x GPU advantage the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..gpusim.context import GPUContext
+from ..gpusim.device import CPU_SERVER, DeviceSpec
+from ..relational.relation import Relation
+from .base import JoinConfig, JoinResult
+from .phj import PartitionedHashJoin
+
+#: CPU radix joins target L2-resident partitions (smaller than GPU
+#: shared-memory partitions).
+CPU_TUPLES_PER_PARTITION = 2048
+
+
+class CPURadixJoin(PartitionedHashJoin):
+    """Balkesen-style multi-core partitioned radix join (GFUR)."""
+
+    name = "CPU"
+    pattern = "gfur"
+
+    def __init__(self, config: Optional[JoinConfig] = None):
+        config = config or JoinConfig(tuples_per_partition=CPU_TUPLES_PER_PARTITION)
+        super().__init__(config, pattern="gfur")
+        self.name = "CPU"
+
+    def join(
+        self,
+        r: Relation,
+        s: Relation,
+        ctx: Optional[GPUContext] = None,
+        device: DeviceSpec = CPU_SERVER,
+        seed: Optional[int] = None,
+    ) -> JoinResult:
+        if ctx is None and device.is_gpu:
+            device = CPU_SERVER
+        return super().join(r, s, ctx=ctx, device=device, seed=seed)

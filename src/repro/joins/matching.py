@@ -1,0 +1,81 @@
+"""Match-index computation shared by the join algorithms.
+
+These helpers compute *which* tuples match — pure index arithmetic with
+no simulated cost.  Each algorithm charges its own match-finding traffic
+(merge passes, hash-table builds/probes) around these calls; see the
+algorithm modules for the accounting.
+
+All helpers produce matches in probe-major (s-major) order: ascending s
+position, which is the streaming order both the merge join and the
+partitioned hash join naturally emit (Section 4.1 — the property that
+keeps GFTR's output identifiers clustered).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def expand_bounds(
+    lo: np.ndarray, hi: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Expand per-probe match ranges ``[lo, hi)`` into index pairs.
+
+    Returns ``(r_pos, s_pos)`` where ``r_pos`` are positions in the
+    sorted build side and ``s_pos`` positions in the probe side,
+    s-major ordered.
+    """
+    counts = (hi - lo).astype(np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    s_pos = np.repeat(np.arange(lo.size, dtype=np.int64), counts)
+    starts = np.repeat(lo.astype(np.int64), counts)
+    first = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    within = np.arange(total, dtype=np.int64) - np.repeat(first, counts)
+    return starts + within, s_pos
+
+
+def match_positions(
+    build_keys: np.ndarray,
+    probe_keys: np.ndarray,
+    unique_build_keys: bool,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Matching (build position, probe position) pairs, s-major.
+
+    ``build_keys`` need not be sorted; positions refer to the arrays as
+    given (e.g. a radix-partitioned layout).  Used by the hash joins,
+    where co-partitioning guarantees matches share a partition but the
+    intra-partition layout is unsorted.
+    """
+    if build_keys.size == 0 or probe_keys.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    order = np.argsort(build_keys, kind="stable")
+    sorted_keys = build_keys[order]
+    lo = np.searchsorted(sorted_keys, probe_keys, side="left")
+    if unique_build_keys:
+        clipped = np.minimum(lo, sorted_keys.size - 1)
+        matched = sorted_keys[clipped] == probe_keys
+        hi = lo + matched.astype(lo.dtype)
+    else:
+        hi = np.searchsorted(sorted_keys, probe_keys, side="right")
+    sorted_pos, s_pos = expand_bounds(lo, hi)
+    return order[sorted_pos], s_pos
+
+
+def sorted_match_positions(
+    build_keys_sorted: np.ndarray,
+    lo: np.ndarray,
+    hi: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Match pairs when the build side is already sorted (merge join).
+
+    ``lo``/``hi`` come from :func:`repro.primitives.merge_path.match_bounds`.
+    Positions on the build side refer to the *sorted* layout.
+    """
+    del build_keys_sorted  # bounds already encode everything needed
+    return expand_bounds(lo, hi)

@@ -1,0 +1,128 @@
+"""Sequences of joins over a star schema (Section 5.2.7, Figure 16).
+
+A fact table ``F`` with foreign keys ``FK_1..FK_N`` is joined against
+dimension tables ``D_1..D_N``.  Following the paper, the fact table
+carries physical tuple identifiers and each foreign-key column is
+materialized *right before* the join that needs it, so no join drags
+foreign keys it will not use.  The i-th join processes
+``(FK_i, ID, P_1, ..., P_{i-1}) ⋈ D_i``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from ..errors import JoinConfigError
+from ..gpusim.context import GPUContext
+from ..gpusim.device import A100, DeviceSpec
+from ..gpusim.kernel import KernelStats
+from ..primitives.gather import gather
+from ..relational.relation import Relation
+from ..relational.types import id_dtype
+from .base import JoinAlgorithm, JoinResult
+
+
+@dataclass
+class PipelineResult:
+    """Outcome of a join sequence."""
+
+    output: Relation
+    join_results: List[JoinResult]
+    #: time spent outside the joins (ID init, inter-join FK gathers)
+    glue_seconds: float
+    fact_rows: int
+    dimension_rows: List[int] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(r.total_seconds for r in self.join_results) + self.glue_seconds
+
+    @property
+    def throughput_tuples_per_s(self) -> float:
+        """(|F| + sum |D_i|) / total time — Figure 16's metric."""
+        tuples = self.fact_rows + sum(self.dimension_rows)
+        return tuples / self.total_seconds if self.total_seconds else float("inf")
+
+
+class JoinPipeline:
+    """Executes N fact-to-dimension joins with one join algorithm."""
+
+    def __init__(self, algorithm: JoinAlgorithm):
+        self.algorithm = algorithm
+
+    def run(
+        self,
+        fact: Relation,
+        fk_columns: Sequence[str],
+        dimensions: Sequence[Relation],
+        device: DeviceSpec = A100,
+        seed: int = 0,
+    ) -> PipelineResult:
+        """Join *fact* with each dimension through its foreign-key column.
+
+        ``fk_columns[i]`` names the fact column joining ``dimensions[i]``
+        (whose key column is its primary key).  Dimension payload names
+        must be distinct across dimensions.
+        """
+        if len(fk_columns) != len(dimensions):
+            raise JoinConfigError(
+                f"{len(fk_columns)} foreign keys vs {len(dimensions)} dimensions"
+            )
+        if not dimensions:
+            raise JoinConfigError("a join pipeline needs at least one dimension")
+
+        glue_ctx = GPUContext(device=device, seed=seed)
+        n = fact.num_rows
+        ids = np.arange(n, dtype=id_dtype(n))
+        glue_ctx.submit(
+            KernelStats(name="init_fact_ids", items=n, seq_write_bytes=int(ids.nbytes)),
+            phase="glue",
+        )
+
+        # Working set: current join key + fact tuple IDs + payloads
+        # accumulated from prior joins.
+        working = Relation(
+            [("key", fact.column(fk_columns[0])), ("__id", ids)], key="key"
+        )
+        join_results: List[JoinResult] = []
+        for i, (fk, dim) in enumerate(zip(fk_columns, dimensions)):
+            if i > 0:
+                # Materialize the next foreign key through the surviving
+                # fact tuple IDs (unclustered after transforms — this is
+                # exactly the cost the paper charges between joins).
+                current_ids = working.column("__id")
+                next_fk = gather(
+                    glue_ctx,
+                    fact.column(fk),
+                    current_ids,
+                    phase="glue",
+                    label=f"fk_{i + 1}",
+                )
+                columns = [("key", next_fk)]
+                columns += [
+                    (name, arr)
+                    for name, arr in working.columns().items()
+                    if name != "key"
+                ]
+                working = Relation(columns, key="key")
+            result = self.algorithm.join(
+                dim, working, device=device, seed=seed + i + 1
+            )
+            join_results.append(result)
+            working = result.output
+        output_columns = [
+            (name, arr)
+            for name, arr in working.columns().items()
+            if name != "__id"
+        ]
+        output = Relation(output_columns, key="key", name="pipeline_output")
+        return PipelineResult(
+            output=output,
+            join_results=join_results,
+            glue_seconds=glue_ctx.elapsed_seconds,
+            fact_rows=fact.num_rows,
+            dimension_rows=[d.num_rows for d in dimensions],
+        )

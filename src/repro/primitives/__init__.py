@@ -1,0 +1,65 @@
+"""High-performance GPU primitives (Section 2.3 of the paper), simulated.
+
+RADIX-PARTITION, SORT-PAIRS, GATHER/SCATTER, Merge Path, histograms and
+prefix sums, plus the Sioulas-style bucket-chain partitioner the paper's
+PHJ-UM baseline uses.  All primitives execute real numpy data movement
+and submit measured traffic to the owning :class:`~repro.gpusim.GPUContext`.
+"""
+
+from .bucket_chain import (
+    DEFAULT_BUCKET_TUPLES,
+    BucketChainPartitioned,
+    bucket_chain_partition,
+    contention_factor,
+)
+from .gather import gather, gather_stats_only, scatter
+from .hashing import hash_to_slots, mix_hash, multiplicative_hash, radix_digit
+from .histogram import exclusive_scan, histogram
+from .merge_path import lower_bounds, match_bounds, upper_bounds
+from .radix_partition import (
+    MAX_BITS_PER_PASS,
+    Partitioned,
+    partition_codes,
+    plan_passes,
+    radix_partition,
+    radix_partition_pass,
+)
+from .sector_analysis import SectorStats, analyze_indices, sequential_stats
+from .sort_pairs import (
+    argsort_cost_only,
+    key_bits_for_dtype,
+    sort_pairs,
+    sort_passes_for_dtype,
+)
+
+__all__ = [
+    "BucketChainPartitioned",
+    "DEFAULT_BUCKET_TUPLES",
+    "MAX_BITS_PER_PASS",
+    "Partitioned",
+    "SectorStats",
+    "analyze_indices",
+    "argsort_cost_only",
+    "bucket_chain_partition",
+    "contention_factor",
+    "exclusive_scan",
+    "gather",
+    "gather_stats_only",
+    "hash_to_slots",
+    "histogram",
+    "key_bits_for_dtype",
+    "lower_bounds",
+    "match_bounds",
+    "mix_hash",
+    "multiplicative_hash",
+    "partition_codes",
+    "plan_passes",
+    "radix_digit",
+    "radix_partition",
+    "radix_partition_pass",
+    "scatter",
+    "sequential_stats",
+    "sort_pairs",
+    "sort_passes_for_dtype",
+    "upper_bounds",
+]

@@ -1,0 +1,151 @@
+"""Global-memory linear-probing hash table (the cuDF-style NPJ substrate).
+
+The non-partitioned hash join builds one big open-addressing table in
+global memory and probes it directly — no transformation phase, but
+every insert and probe is a random global-memory access (Section 5.2.2:
+"cuDF is the most inefficient of all because of the random accesses
+during the construction and probing of the hash table").
+
+The implementation is a real vectorized linear-probing table: inserts
+resolve collisions round by round (first pending writer per slot wins,
+losers advance), probes walk runs until an empty slot, collecting *all*
+duplicate matches.  Every slot access is recorded so the join can charge
+exact random-traffic statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..errors import ReproError
+from .hashing import hash_to_slots
+
+#: Sentinel for an empty slot; keys must be >= 0 (dictionary-encoded).
+EMPTY = np.int64(-1)
+
+#: Bytes per slot (packed key + value pair).
+SLOT_BYTES = 8
+
+
+def table_capacity(num_keys: int, load_factor: float = 0.5) -> int:
+    """Power-of-two capacity for the requested maximum load factor."""
+    if num_keys < 0:
+        raise ValueError("num_keys must be >= 0")
+    needed = max(2, int(num_keys / load_factor))
+    return 1 << (needed - 1).bit_length()
+
+
+@dataclass
+class BuildResult:
+    """A populated table plus the slot positions every insert touched."""
+
+    table_keys: np.ndarray
+    table_values: np.ndarray
+    touched_slots: np.ndarray
+    rounds: int
+
+
+@dataclass
+class ProbeResult:
+    """Matches plus the slot positions every probe touched.
+
+    ``probe_indices[i]`` matched the build tuple ``build_values[i]``;
+    pairs are sorted to probe-major (ascending probe index) order.
+    """
+
+    probe_indices: np.ndarray
+    build_values: np.ndarray
+    touched_slots: np.ndarray
+    rounds: int
+
+
+def build_table(
+    keys: np.ndarray, values: np.ndarray, capacity: int
+) -> BuildResult:
+    """Insert all (key, value) pairs; duplicates occupy separate slots."""
+    if keys.size and keys.min() < 0:
+        raise ReproError("hash-table keys must be non-negative")
+    if keys.size > capacity:
+        raise ReproError(f"cannot insert {keys.size} keys into capacity {capacity}")
+    table_keys = np.full(capacity, EMPTY, dtype=np.int64)
+    table_values = np.zeros(capacity, dtype=np.int64)
+    cur = hash_to_slots(keys, capacity)
+    pending = np.arange(keys.size, dtype=np.int64)
+    touched: List[np.ndarray] = []
+    rounds = 0
+    while pending.size:
+        rounds += 1
+        if rounds > capacity:
+            raise ReproError("hash-table insertion did not converge")
+        slots = cur[pending]
+        touched.append(slots.copy())
+        order = np.argsort(slots, kind="stable")
+        slots_sorted = slots[order]
+        pending_sorted = pending[order]
+        is_first = np.ones(slots_sorted.size, dtype=bool)
+        is_first[1:] = slots_sorted[1:] != slots_sorted[:-1]
+        candidates = pending_sorted[is_first]
+        candidate_slots = slots_sorted[is_first]
+        free = table_keys[candidate_slots] == EMPTY
+        winners = candidates[free]
+        winner_slots = candidate_slots[free]
+        table_keys[winner_slots] = keys[winners]
+        table_values[winner_slots] = values[winners]
+        done = np.zeros(keys.size, dtype=bool)
+        done[winners] = True
+        pending = pending[~done[pending]]
+        cur[pending] = (cur[pending] + 1) % capacity
+    all_touched = (
+        np.concatenate(touched) if touched else np.empty(0, dtype=np.int64)
+    )
+    return BuildResult(table_keys, table_values, all_touched, rounds)
+
+
+def probe_table(
+    table_keys: np.ndarray,
+    table_values: np.ndarray,
+    probe_keys: np.ndarray,
+) -> ProbeResult:
+    """Find every match for every probe key (handles duplicate build keys).
+
+    Each probe walks its run until it hits an empty slot, emitting one
+    match per equal-key slot along the way.
+    """
+    capacity = table_keys.size
+    cur = hash_to_slots(probe_keys, capacity)
+    active = np.arange(probe_keys.size, dtype=np.int64)
+    hits_probe: List[np.ndarray] = []
+    hits_value: List[np.ndarray] = []
+    touched: List[np.ndarray] = []
+    rounds = 0
+    while active.size:
+        rounds += 1
+        if rounds > capacity + 1:
+            raise ReproError("hash-table probe did not converge")
+        slots = cur[active]
+        touched.append(slots.copy())
+        slot_keys = table_keys[slots]
+        empty = slot_keys == EMPTY
+        hit = slot_keys == probe_keys[active]
+        if hit.any():
+            hits_probe.append(active[hit])
+            hits_value.append(table_values[slots[hit]])
+        survivors = active[~empty]
+        cur[survivors] = (cur[survivors] + 1) % capacity
+        active = survivors
+    if hits_probe:
+        probe_idx = np.concatenate(hits_probe)
+        build_vals = np.concatenate(hits_value)
+        order = np.lexsort((build_vals, probe_idx))
+        probe_idx = probe_idx[order]
+        build_vals = build_vals[order]
+    else:
+        probe_idx = np.empty(0, dtype=np.int64)
+        build_vals = np.empty(0, dtype=np.int64)
+    all_touched = (
+        np.concatenate(touched) if touched else np.empty(0, dtype=np.int64)
+    )
+    return ProbeResult(probe_idx, build_vals, all_touched, rounds)

@@ -1,0 +1,63 @@
+"""Histogram and prefix-sum primitives.
+
+The optimized partitioned hash join (Section 4.3) computes partition
+boundaries by building a histogram of radix digits followed by an
+exclusive prefix sum.  Both are bandwidth-bound streaming kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..gpusim.context import GPUContext
+from ..gpusim.kernel import KernelStats
+
+
+def histogram(
+    ctx: GPUContext,
+    codes: np.ndarray,
+    num_bins: int,
+    phase: Optional[str] = None,
+    label: str = "",
+) -> np.ndarray:
+    """Count occurrences of each code in ``[0, num_bins)``.
+
+    Thread blocks histogram into shared memory and merge with atomics;
+    the dominant cost is one sequential read of the codes.
+    """
+    counts = np.bincount(codes, minlength=num_bins)
+    if counts.size > num_bins:
+        raise ValueError(
+            f"codes contain values >= num_bins ({counts.size - 1} >= {num_bins})"
+        )
+    stats = KernelStats(
+        name=f"histogram:{label}" if label else "histogram",
+        items=int(codes.size),
+        seq_read_bytes=int(codes.nbytes),
+        seq_write_bytes=int(num_bins * 8),
+        atomic_ops=num_bins,
+    )
+    ctx.submit(stats, phase=phase)
+    return counts.astype(np.int64)
+
+
+def exclusive_scan(
+    ctx: GPUContext,
+    values: np.ndarray,
+    phase: Optional[str] = None,
+    label: str = "",
+) -> np.ndarray:
+    """Exclusive prefix sum (offsets from counts)."""
+    out = np.zeros_like(values, dtype=np.int64)
+    if values.size:
+        np.cumsum(values[:-1], out=out[1:])
+    stats = KernelStats(
+        name=f"scan:{label}" if label else "scan",
+        items=int(values.size),
+        seq_read_bytes=int(values.nbytes),
+        seq_write_bytes=int(out.nbytes),
+    )
+    ctx.submit(stats, phase=phase)
+    return out

@@ -1,0 +1,109 @@
+"""Exact sector analysis of gather/scatter index arrays.
+
+On Ampere GPUs, a warp's 32 loads are combined into memory transactions
+of 32-byte *sectors*.  The number of distinct sectors a warp touches is
+what Nsight Compute reports as "sectors per request" (Table 4 of the
+paper) and is the physical quantity that separates clustered from
+unclustered GATHERs.  This module computes it exactly from the actual
+index arrays the algorithms produce — vectorized with numpy so analysis
+of multi-million-entry maps stays fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..gpusim.device import SECTOR_BYTES, WARP_SIZE
+
+
+@dataclass(frozen=True)
+class SectorStats:
+    """Warp-level random-access statistics of an index array.
+
+    Attributes
+    ----------
+    requests:
+        Number of warp-level load/store requests (one per warp).
+    sector_touches:
+        Sum over warps of the number of distinct sectors the warp touches.
+    cold_sectors:
+        Number of globally distinct sectors touched by the whole map; the
+        first touch of each must be served by DRAM regardless of locality.
+    mean_warp_span_bytes:
+        Mean over warps of (max byte address - min byte address + element
+        size); the cost model compares this against the L2 capacity to
+        decide whether repeated touches stay cache resident.
+    """
+
+    requests: int
+    sector_touches: int
+    cold_sectors: int
+    mean_warp_span_bytes: float
+
+    @property
+    def sectors_per_request(self) -> float:
+        if not self.requests:
+            return 0.0
+        return self.sector_touches / self.requests
+
+
+def analyze_indices(indices: np.ndarray, element_bytes: int) -> SectorStats:
+    """Compute :class:`SectorStats` for gathering elements at *indices*.
+
+    ``indices`` are element positions into a source array whose elements
+    are ``element_bytes`` wide (the source is assumed element-aligned, so
+    a 4- or 8-byte element never crosses a 32-byte sector boundary).
+    """
+    n = int(indices.size)
+    if n == 0:
+        return SectorStats(0, 0, 0, 0.0)
+    if element_bytes <= 0 or element_bytes > SECTOR_BYTES:
+        raise ValueError(f"unsupported element size {element_bytes}")
+
+    offsets = indices.astype(np.int64, copy=False) * element_bytes
+    sectors = offsets // SECTOR_BYTES
+
+    # Pad the final partial warp by repeating its last entry so it adds no
+    # spurious distinct sectors or span.
+    pad = (-n) % WARP_SIZE
+    if pad:
+        offsets = np.concatenate([offsets, np.full(pad, offsets[-1])])
+        sectors = np.concatenate([sectors, np.full(pad, sectors[-1])])
+
+    warp_offsets = offsets.reshape(-1, WARP_SIZE)
+    warp_sectors = np.sort(sectors.reshape(-1, WARP_SIZE), axis=1)
+
+    distinct_per_warp = 1 + np.count_nonzero(np.diff(warp_sectors, axis=1), axis=1)
+    spans = (
+        warp_offsets.max(axis=1) - warp_offsets.min(axis=1) + element_bytes
+    ).astype(np.float64)
+
+    return SectorStats(
+        requests=warp_sectors.shape[0],
+        sector_touches=int(distinct_per_warp.sum()),
+        cold_sectors=int(np.unique(sectors).size),
+        mean_warp_span_bytes=float(spans.mean()),
+    )
+
+
+def sequential_stats(num_items: int, element_bytes: int) -> SectorStats:
+    """Stats of a perfectly sequential access of *num_items* elements.
+
+    Provided for reference and tests; a sequential stream touches
+    ``element_bytes / SECTOR_BYTES`` sectors per element, all cold, with a
+    one-warp span.
+    """
+    if num_items == 0:
+        return SectorStats(0, 0, 0, 0.0)
+    requests = -(-num_items // WARP_SIZE)
+    total_bytes = num_items * element_bytes
+    sectors = -(-total_bytes // SECTOR_BYTES)
+    per_warp_span = min(num_items, WARP_SIZE) * element_bytes
+    return SectorStats(
+        requests=requests,
+        sector_touches=sectors,
+        cold_sectors=sectors,
+        mean_warp_span_bytes=float(per_warp_span),
+    )

@@ -1,0 +1,24 @@
+"""Composable query plans over the library's join/aggregation operators."""
+
+from .executor import QueryExecutor, execute
+from .plan import (
+    Aggregate,
+    Join,
+    OperatorTrace,
+    Project,
+    QueryResult,
+    Scan,
+    validate_plan,
+)
+
+__all__ = [
+    "Aggregate",
+    "Join",
+    "OperatorTrace",
+    "Project",
+    "QueryExecutor",
+    "QueryResult",
+    "Scan",
+    "execute",
+    "validate_plan",
+]

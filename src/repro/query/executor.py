@@ -1,0 +1,229 @@
+"""Plan execution with optimization passes.
+
+``execute(plan)`` validates, optimizes, and runs a plan bottom-up,
+accumulating simulated operator costs into a trace.  Optimizations:
+
+* ``Project`` over ``Join`` -> join-side projection pushdown;
+* ``Aggregate`` over ``Join`` -> fused join + aggregation.
+
+Both fire automatically; ``execute(..., optimize=False)`` runs the plan
+literally for comparison (the delta is exactly ext02's measurement).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..aggregation.planner import (
+    GroupByWorkloadProfile,
+    make_groupby_algorithm,
+    recommend_groupby_algorithm,
+)
+from ..errors import JoinConfigError
+from ..gpusim.context import GPUContext
+from ..gpusim.device import A100, DeviceSpec
+from ..gpusim.kernel import KernelStats
+from ..joins.base import JoinConfig
+from ..joins.fused import FusedJoinAggregate
+from ..joins.planner import JoinWorkloadProfile, make_algorithm, recommend_join_algorithm
+from ..relational.relation import Relation
+from .plan import (
+    Aggregate,
+    Join,
+    OperatorTrace,
+    PlanNode,
+    Project,
+    QueryResult,
+    Scan,
+    aggregate_input_columns,
+    validate_plan,
+)
+
+import numpy as np
+
+
+def _resolve_join_algorithm(name: str, r: Relation, s: Relation, config: JoinConfig):
+    if name != "auto":
+        return make_algorithm(name, config)
+    profile = JoinWorkloadProfile.from_relations(r, s)
+    return make_algorithm(recommend_join_algorithm(profile).algorithm, config)
+
+
+def _resolve_groupby_algorithm(name: str, keys, device: DeviceSpec):
+    if name != "auto":
+        return make_groupby_algorithm(name)
+    sample = keys if keys.size <= 65536 else keys[:: max(1, keys.size // 65536)]
+    profile = GroupByWorkloadProfile(
+        rows=int(keys.size), estimated_groups=int(np.unique(sample).size)
+    )
+    return make_groupby_algorithm(
+        recommend_groupby_algorithm(profile, device=device).algorithm
+    )
+
+
+class QueryExecutor:
+    """Executes logical plans on a simulated device."""
+
+    def __init__(
+        self,
+        device: DeviceSpec = A100,
+        config: Optional[JoinConfig] = None,
+        seed: Optional[int] = None,
+    ):
+        self.device = device
+        self.config = config or JoinConfig()
+        self.seed = seed
+
+    def execute(self, plan: PlanNode, optimize: bool = True) -> QueryResult:
+        validate_plan(plan)
+        trace: List[OperatorTrace] = []
+        output = self._run(plan, trace, optimize)
+        return QueryResult(output=output, trace=trace)
+
+    # -- node dispatch -------------------------------------------------------
+
+    def _run(self, node: PlanNode, trace: List[OperatorTrace], optimize: bool):
+        if isinstance(node, Scan):
+            trace.append(OperatorTrace(node.describe(), 0.0, node.relation.num_rows))
+            return node.relation
+        if isinstance(node, Project):
+            if optimize and isinstance(node.child, Join):
+                return self._run_join(
+                    node.child, trace, optimize, projection=node.columns,
+                    pushed_from=node.describe(),
+                )
+            child = self._run(node.child, trace, optimize)
+            return self._run_project(node, child, trace)
+        if isinstance(node, Join):
+            return self._run_join(node, trace, optimize, projection=None)
+        if isinstance(node, Aggregate):
+            if optimize and isinstance(node.child, Join):
+                return self._run_fused_aggregate(node, trace, optimize)
+            child = self._run(node.child, trace, optimize)
+            return self._run_aggregate(node, child, trace)
+        raise JoinConfigError(f"unknown plan node {type(node).__name__}")
+
+    # -- operators ----------------------------------------------------------
+
+    def _run_project(
+        self, node: Project, child: Relation, trace: List[OperatorTrace]
+    ) -> Relation:
+        missing = [c for c in node.columns if c not in child]
+        if missing:
+            raise JoinConfigError(f"Project references missing columns {missing}")
+        columns = [(child.key, child.key_values)]
+        columns += [(c, child.column(c)) for c in node.columns if c != child.key]
+        projected = Relation(columns, key=child.key, name=child.name)
+        # An unfused projection copies the kept columns once.
+        ctx = GPUContext(device=self.device)
+        ctx.submit(
+            KernelStats(
+                name="project",
+                items=child.num_rows,
+                seq_read_bytes=projected.total_bytes,
+                seq_write_bytes=projected.total_bytes,
+            )
+        )
+        trace.append(
+            OperatorTrace(node.describe(), ctx.elapsed_seconds, projected.num_rows)
+        )
+        return projected
+
+    def _run_join(
+        self,
+        node: Join,
+        trace: List[OperatorTrace],
+        optimize: bool,
+        projection: Optional[Tuple[str, ...]],
+        pushed_from: str = "",
+    ) -> Relation:
+        left = self._run(node.left, trace, optimize)
+        right = self._run(node.right, trace, optimize)
+        config = self.config
+        if projection is not None:
+            from dataclasses import replace
+
+            config = replace(config, projection=tuple(projection))
+        algorithm = _resolve_join_algorithm(node.algorithm, left, right, config)
+        result = algorithm.join(left, right, device=self.device, seed=self.seed)
+        description = f"Join[{result.algorithm}]"
+        if projection is not None:
+            description += f" <- pushed {pushed_from}"
+        trace.append(
+            OperatorTrace(
+                description,
+                result.total_seconds,
+                result.matches,
+                extras=dict(result.phase_seconds),
+            )
+        )
+        return result.output
+
+    def _run_aggregate(
+        self, node: Aggregate, child: Relation, trace: List[OperatorTrace]
+    ):
+        keys = child.column(node.group_column)
+        values = {
+            spec.column: child.column(spec.column)
+            for spec in node.aggregates
+            if spec.op != "count"
+        }
+        algorithm = _resolve_groupby_algorithm(node.algorithm, keys, self.device)
+        result = algorithm.group_by(
+            keys, values, list(node.aggregates), device=self.device, seed=self.seed
+        )
+        trace.append(
+            OperatorTrace(
+                f"Aggregate[{result.algorithm}]",
+                result.total_seconds,
+                result.groups,
+                extras=dict(result.phase_seconds),
+            )
+        )
+        return result.output
+
+    def _run_fused_aggregate(
+        self, node: Aggregate, trace: List[OperatorTrace], optimize: bool
+    ):
+        join_node = node.child
+        left = self._run(join_node.left, trace, optimize)
+        right = self._run(join_node.right, trace, optimize)
+        join_algorithm = _resolve_join_algorithm(
+            join_node.algorithm, left, right, self.config
+        )
+        groupby_algorithm = None
+        if node.algorithm != "auto":
+            groupby_algorithm = make_groupby_algorithm(node.algorithm)
+        pipeline = FusedJoinAggregate(join_algorithm, groupby_algorithm)
+        result = pipeline.run(
+            left,
+            right,
+            group_column=node.group_column,
+            aggregates=list(node.aggregates),
+            device=self.device,
+            seed=self.seed,
+            fuse=True,
+        )
+        trace.append(
+            OperatorTrace(
+                f"FusedJoinAggregate[{result.join_result.algorithm} + "
+                f"{result.groupby_result.algorithm}]",
+                result.total_seconds,
+                result.groupby_result.groups,
+                extras={"fusion_credit_s": result.fusion_credit_seconds},
+            )
+        )
+        return result.output
+
+
+def execute(
+    plan: PlanNode,
+    device: DeviceSpec = A100,
+    config: Optional[JoinConfig] = None,
+    seed: Optional[int] = None,
+    optimize: bool = True,
+) -> QueryResult:
+    """One-shot convenience around :class:`QueryExecutor`."""
+    return QueryExecutor(device=device, config=config, seed=seed).execute(
+        plan, optimize=optimize
+    )

@@ -1,0 +1,29 @@
+"""Columnar relations, physical types, dictionary encoding, references."""
+
+from .dictionary import DictionaryEncoder
+from .keys import MAX_PACKED_BITS, PackedKeyCodec, pack_columns
+from .relation import Relation
+from .types import INT32, INT64, ColumnType, column_type, id_dtype
+from .validation import (
+    assert_join_equal,
+    join_match_indices,
+    reference_groupby,
+    reference_join,
+)
+
+__all__ = [
+    "ColumnType",
+    "DictionaryEncoder",
+    "MAX_PACKED_BITS",
+    "PackedKeyCodec",
+    "pack_columns",
+    "INT32",
+    "INT64",
+    "Relation",
+    "assert_join_equal",
+    "column_type",
+    "id_dtype",
+    "join_match_indices",
+    "reference_groupby",
+    "reference_join",
+]

@@ -1,0 +1,61 @@
+"""Dictionary encoding for string attributes.
+
+The TPC-H/DS experiments "transform strings into numeric values by
+dictionary encoding" (Section 5.3).  :class:`DictionaryEncoder` assigns
+each distinct string a dense integer code; encoded columns then join and
+materialize as ordinary integer columns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from .types import INT32, INT64, ColumnType
+
+
+class DictionaryEncoder:
+    """Bidirectional mapping between strings and dense integer codes.
+
+    Codes are assigned in first-seen order starting at 0, so encoding is
+    deterministic for a fixed input order.
+    """
+
+    def __init__(self, code_type: ColumnType = INT32):
+        if code_type not in (INT32, INT64):
+            raise ValueError("code_type must be INT32 or INT64")
+        self.code_type = code_type
+        self._code_of: Dict[str, int] = {}
+        self._values: List[str] = []
+
+    @property
+    def cardinality(self) -> int:
+        return len(self._values)
+
+    def encode_one(self, value: str) -> int:
+        """Code for *value*, assigning a new code on first sight."""
+        code = self._code_of.get(value)
+        if code is None:
+            code = len(self._values)
+            self._code_of[value] = code
+            self._values.append(value)
+        return code
+
+    def encode(self, values: Iterable[str]) -> np.ndarray:
+        """Encode a sequence of strings into a code column."""
+        codes = [self.encode_one(v) for v in values]
+        return np.asarray(codes, dtype=self.code_type.dtype)
+
+    def decode(self, codes: Sequence[int]) -> List[str]:
+        """Decode integer codes back into strings."""
+        out = []
+        for code in np.asarray(codes).tolist():
+            if not 0 <= code < len(self._values):
+                raise KeyError(f"code {code} not present in dictionary")
+            out.append(self._values[code])
+        return out
+
+    def lookup(self, value: str) -> int:
+        """Code of an already-encoded value (KeyError if unseen)."""
+        return self._code_of[value]

@@ -1,0 +1,55 @@
+"""Column data types.
+
+The paper evaluates joins over mixtures of 4-byte and 8-byte integer
+attributes (Section 5.2.5), with strings dictionary-encoded to integers
+(Section 5.3).  We model exactly those physical types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ColumnType:
+    """A physical column type: a numpy dtype plus a display name."""
+
+    name: str
+    dtype: np.dtype
+
+    @property
+    def itemsize(self) -> int:
+        return int(self.dtype.itemsize)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: 4-byte signed integer — the conventional key/payload type of prior work.
+INT32 = ColumnType("int32", np.dtype(np.int32))
+#: 8-byte signed integer — wide keys/payloads (Section 5.2.5, Figure 15).
+INT64 = ColumnType("int64", np.dtype(np.int64))
+
+_BY_NAME = {t.name: t for t in (INT32, INT64)}
+_BY_DTYPE = {t.dtype: t for t in (INT32, INT64)}
+
+
+def column_type(spec) -> ColumnType:
+    """Coerce a name, numpy dtype, or ColumnType into a ColumnType."""
+    if isinstance(spec, ColumnType):
+        return spec
+    if isinstance(spec, str):
+        if spec in _BY_NAME:
+            return _BY_NAME[spec]
+        raise KeyError(f"unknown column type {spec!r}; known: {sorted(_BY_NAME)}")
+    dtype = np.dtype(spec)
+    if dtype in _BY_DTYPE:
+        return _BY_DTYPE[dtype]
+    raise KeyError(f"unsupported dtype {dtype}; supported: int32, int64")
+
+
+def id_dtype(num_rows: int) -> np.dtype:
+    """Dtype for tuple identifiers: 4-byte while they fit (as in the paper)."""
+    return np.dtype(np.int32) if num_rows <= np.iinfo(np.int32).max else np.dtype(np.int64)

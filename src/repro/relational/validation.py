@@ -1,0 +1,122 @@
+"""Plain-numpy reference implementations used to validate the algorithms.
+
+These are deliberately simple (no simulated device, no phases): a
+textbook inner equi-join and a textbook group-by.  Every join and
+aggregation algorithm in the library is tested against them.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .relation import Relation
+
+
+def join_match_indices(
+    r_keys: np.ndarray, s_keys: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """All matching (r_index, s_index) pairs of an inner equi-join.
+
+    Pairs are produced in s-major order (ascending s index; for a given s
+    index, r partners appear in ascending r-sorted order).  Handles
+    duplicate keys on both sides.
+    """
+    order = np.argsort(r_keys, kind="stable")
+    r_sorted = r_keys[order]
+    lo = np.searchsorted(r_sorted, s_keys, side="left")
+    hi = np.searchsorted(r_sorted, s_keys, side="right")
+    counts = (hi - lo).astype(np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    s_idx = np.repeat(np.arange(s_keys.size, dtype=np.int64), counts)
+    starts = np.repeat(lo.astype(np.int64), counts)
+    # Within-match offsets: 0..count-1 per s tuple.
+    first_positions = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    within = np.arange(total, dtype=np.int64) - np.repeat(first_positions, counts)
+    r_idx = order[starts + within]
+    return r_idx.astype(np.int64), s_idx
+
+
+def reference_join(r: Relation, s: Relation, output_name: str = "T") -> Relation:
+    """Materialized inner equi-join ``R ⋈ S`` on each relation's key.
+
+    The output relation has the key column followed by R's payloads and
+    then S's payloads, with S payload names suffixed ``_s`` on collision.
+    """
+    r_idx, s_idx = join_match_indices(r.key_values, s.key_values)
+    columns = [("key", r.key_values[r_idx])]
+    for name, array in r.payload_columns().items():
+        columns.append((name, array[r_idx]))
+    taken = {name for name, _ in columns}
+    for name, array in s.payload_columns().items():
+        out_name = name if name not in taken else f"{name}_s"
+        columns.append((out_name, array[s_idx]))
+        taken.add(out_name)
+    return Relation(columns, key="key", name=output_name)
+
+
+def reference_groupby(
+    keys: np.ndarray,
+    values: Dict[str, np.ndarray],
+    aggregates: Dict[str, str],
+) -> "OrderedDict[str, np.ndarray]":
+    """Group-by with per-column aggregates.
+
+    ``aggregates`` maps value-column name -> one of ``sum``, ``count``,
+    ``min``, ``max``, ``mean``.  Returns an OrderedDict with ``group_key``
+    (ascending distinct keys) followed by one aggregate column per entry.
+    """
+    group_keys, inverse = np.unique(keys, return_inverse=True)
+    num_groups = group_keys.size
+    out: "OrderedDict[str, np.ndarray]" = OrderedDict()
+    out["group_key"] = group_keys
+    counts = np.bincount(inverse, minlength=num_groups)
+    for column, how in aggregates.items():
+        if how == "count":
+            out[f"count_{column}"] = counts.astype(np.int64)
+            continue
+        data = values[column]
+        if how == "sum":
+            agg = np.bincount(inverse, weights=data.astype(np.float64), minlength=num_groups)
+            out[f"sum_{column}"] = agg.astype(np.int64)
+        elif how == "mean":
+            sums = np.bincount(inverse, weights=data.astype(np.float64), minlength=num_groups)
+            out[f"mean_{column}"] = sums / np.maximum(counts, 1)
+        elif how in ("min", "max"):
+            reducer = np.minimum if how == "min" else np.maximum
+            fill = (
+                np.iinfo(np.int64).max if how == "min" else np.iinfo(np.int64).min
+            )
+            agg = np.full(num_groups, fill, dtype=np.int64)
+            reducer.at(agg, inverse, data.astype(np.int64))
+            out[f"{how}_{column}"] = agg
+        else:
+            raise ValueError(f"unknown aggregate {how!r}")
+    return out
+
+
+def assert_join_equal(result: Relation, expected: Relation) -> None:
+    """Raise AssertionError with a diagnostic if two joins differ."""
+    if result.column_names != expected.column_names:
+        raise AssertionError(
+            f"column mismatch: {result.column_names} != {expected.column_names}"
+        )
+    if result.num_rows != expected.num_rows:
+        raise AssertionError(
+            f"row-count mismatch: {result.num_rows} != {expected.num_rows}"
+        )
+    if not result.equals_unordered(expected):
+        raise AssertionError("join outputs contain different rows")
+
+
+def match_indices_with_counts(
+    r_keys: np.ndarray, s_keys: np.ndarray, unique_build_keys: Optional[bool] = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Alias of :func:`join_match_indices` kept for API symmetry."""
+    del unique_build_keys
+    return join_match_indices(r_keys, s_keys)

@@ -1,0 +1,38 @@
+"""Workload generators: microbenchmarks, TPC-H/DS extracts, star schemas."""
+
+from .generators import (
+    JoinWorkloadSpec,
+    gb,
+    generate_join_workload,
+    rows_for_bytes,
+    workload_from_gb,
+)
+from .groupby_gen import GroupByWorkloadSpec, generate_groupby_workload
+from .sequences import generate_star_schema
+from .tpch import (
+    TPC_JOINS,
+    TPC_JOINS_BY_ID,
+    TPCJoinSpec,
+    generate_tpc_join,
+    tpch_lineitem_like,
+)
+from .zipf import hottest_key_share, sample_zipf, zipf_cdf
+
+__all__ = [
+    "GroupByWorkloadSpec",
+    "JoinWorkloadSpec",
+    "TPCJoinSpec",
+    "TPC_JOINS",
+    "TPC_JOINS_BY_ID",
+    "gb",
+    "generate_groupby_workload",
+    "generate_join_workload",
+    "generate_star_schema",
+    "generate_tpc_join",
+    "hottest_key_share",
+    "rows_for_bytes",
+    "sample_zipf",
+    "tpch_lineitem_like",
+    "workload_from_gb",
+    "zipf_cdf",
+]

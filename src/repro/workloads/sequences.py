@@ -1,0 +1,55 @@
+"""Star-schema workloads for sequences of joins (Section 5.2.7).
+
+A fact table ``F`` has N foreign keys ``FK_1..FK_N`` referencing
+dimension tables ``D_1..D_N``, each with a primary key and one payload
+column.  The paper uses ``|F| = 2^27`` and ``|D_i| = 2^25``; the
+generator takes arbitrary sizes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..relational.relation import Relation
+from ..relational.types import INT32, ColumnType, column_type
+
+
+def generate_star_schema(
+    fact_rows: int,
+    dim_rows: int,
+    num_dimensions: int,
+    key_type: ColumnType = INT32,
+    payload_type: ColumnType = INT32,
+    seed: int = 0,
+) -> Tuple[Relation, List[str], List[Relation]]:
+    """Build (fact, fk_column_names, dimensions) for an N-join pipeline.
+
+    Every fact foreign key matches some dimension primary key (100%
+    match ratio, as in Figure 16).
+    """
+    if fact_rows <= 0 or dim_rows <= 0 or num_dimensions <= 0:
+        raise WorkloadError("fact_rows, dim_rows and num_dimensions must be positive")
+    key_t = column_type(key_type)
+    pay_t = column_type(payload_type)
+    rng = np.random.default_rng(seed)
+
+    fk_names = [f"FK{i + 1}" for i in range(num_dimensions)]
+    fact_columns = [
+        (name, rng.integers(0, dim_rows, fact_rows).astype(key_t.dtype))
+        for name in fk_names
+    ]
+    fact = Relation(fact_columns, key=fk_names[0], name="F")
+
+    dimensions = []
+    for i in range(num_dimensions):
+        keys = rng.permutation(dim_rows).astype(key_t.dtype)
+        payload = rng.integers(0, 1 << 20, dim_rows).astype(pay_t.dtype)
+        dimensions.append(
+            Relation(
+                [("key", keys), (f"P{i + 1}", payload)], key="key", name=f"D{i + 1}"
+            )
+        )
+    return fact, fk_names, dimensions

@@ -1,0 +1,161 @@
+"""TPC-H/TPC-DS extracted join workloads (Table 6, Section 5.3).
+
+The paper extracts five representative joins from DuckDB query plans
+over TPC-H (SF=10) and TPC-DS (SF=100).  We regenerate synthetic
+relations with the same *shape*: row counts (scaled), output
+cardinality, key/non-key payload column mixes, self-join multiplicity,
+and the 4-byte-key / 8-byte-non-key type mixture the paper uses
+("strings ... transformed into numeric values by dictionary encoding",
+rows randomly shuffled).
+
+Two type variants mirror Figure 17: ``mixed`` (4 B keys, 8 B non-keys)
+and ``wide`` (everything 8 B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..relational.relation import Relation
+from ..relational.types import INT32, INT64, ColumnType
+
+
+@dataclass(frozen=True)
+class TPCJoinSpec:
+    """Shape of one extracted join (a row of Table 6)."""
+
+    join_id: str
+    benchmark: str
+    query: str
+    r_rows: int
+    s_rows: int
+    out_rows: int
+    #: payload columns of R that are key attributes (other PKs/FKs)
+    r_key_payloads: int
+    #: payload columns of R that are non-key attributes
+    r_nonkey_payloads: int
+    s_key_payloads: int
+    s_nonkey_payloads: int
+    #: self FK-FK join with duplicate keys on both sides (J5)
+    self_join: bool = False
+    remark: str = ""
+
+    @property
+    def multiplicity(self) -> float:
+        """Average output rows per probe-side row."""
+        return self.out_rows / self.s_rows
+
+
+#: Table 6 of the paper, verbatim shapes.
+TPC_JOINS: List[TPCJoinSpec] = [
+    TPCJoinSpec("J1", "TPC-H", "Q7", 15_000_000, 18_200_000, 18_200_000, 1, 3, 0, 1,
+                remark="PK-FK wide join"),
+    TPCJoinSpec("J2", "TPC-H", "Q18", 15_000_000, 60_000_000, 60_000_000, 1, 2, 0, 1,
+                remark="PK-FK wide join"),
+    TPCJoinSpec("J3", "TPC-H", "Q19", 2_000_000, 2_100_000, 2_100_000, 0, 3, 0, 3,
+                remark="PK-FK wide join"),
+    TPCJoinSpec("J4", "TPC-DS", "Q64", 1_900_000, 58_000_000, 58_000_000, 0, 1, 3, 7,
+                remark="many probe-side payloads"),
+    TPCJoinSpec("J5", "TPC-DS", "Q95", 72_000_000, 72_000_000, 904_000_000, 0, 1, 0, 1,
+                self_join=True, remark="self narrow join"),
+]
+
+TPC_JOINS_BY_ID = {spec.join_id: spec for spec in TPC_JOINS}
+
+
+def _payload_columns(
+    rng: np.random.Generator,
+    rows: int,
+    key_count: int,
+    nonkey_count: int,
+    key_type: ColumnType,
+    nonkey_type: ColumnType,
+    prefix: str,
+) -> List[Tuple[str, np.ndarray]]:
+    columns = []
+    for i in range(key_count):
+        columns.append(
+            (f"{prefix}k{i + 1}", rng.integers(0, max(2, rows), rows).astype(key_type.dtype))
+        )
+    for i in range(nonkey_count):
+        columns.append(
+            (f"{prefix}n{i + 1}", rng.integers(0, 1 << 20, rows).astype(nonkey_type.dtype))
+        )
+    return columns
+
+
+def generate_tpc_join(
+    spec: TPCJoinSpec,
+    scale: float = 1.0,
+    variant: str = "mixed",
+    seed: int = 0,
+) -> Tuple[Relation, Relation]:
+    """Materialize (R, S) for one Table 6 join, scaled by ``scale``.
+
+    ``variant="mixed"`` uses 4-byte keys and 8-byte non-keys;
+    ``variant="wide"`` makes every attribute 8 bytes.
+    """
+    if variant == "mixed":
+        key_type, nonkey_type = INT32, INT64
+    elif variant == "wide":
+        key_type, nonkey_type = INT64, INT64
+    else:
+        raise WorkloadError(f"unknown variant {variant!r} (use 'mixed' or 'wide')")
+    if not 0 < scale <= 1:
+        raise WorkloadError("scale must be in (0, 1]")
+
+    rng = np.random.default_rng(seed)
+    r_rows = max(64, int(spec.r_rows * scale))
+    s_rows = max(64, int(spec.s_rows * scale))
+
+    if spec.self_join:
+        # FK-FK: both sides draw keys from a domain sized so the expected
+        # output multiplicity matches Table 6 (|out| = |R||S| / domain).
+        domain = max(1, int(round(spec.r_rows * spec.s_rows / spec.out_rows * scale)))
+        r_keys = rng.integers(0, domain, r_rows)
+        s_keys = rng.integers(0, domain, s_rows)
+    else:
+        # PK-FK with a 100%-ish match ratio (|out| == |S| in Table 6).
+        r_keys = rng.permutation(r_rows)
+        s_keys = rng.integers(0, r_rows, s_rows)
+    max_key = int(max(r_keys.max(), s_keys.max()))
+    if max_key > np.iinfo(key_type.dtype).max:
+        raise WorkloadError("scaled keys exceed the key type range")
+    r_keys = r_keys.astype(key_type.dtype)
+    s_keys = s_keys.astype(key_type.dtype)
+
+    r_columns = [("key", r_keys)] + _payload_columns(
+        rng, r_rows, spec.r_key_payloads, spec.r_nonkey_payloads, key_type, nonkey_type, "r"
+    )
+    s_columns = [("key", s_keys)] + _payload_columns(
+        rng, s_rows, spec.s_key_payloads, spec.s_nonkey_payloads, key_type, nonkey_type, "s"
+    )
+    r = Relation(r_columns, key="key", name=f"{spec.join_id}:R")
+    s = Relation(s_columns, key="key", name=f"{spec.join_id}:S")
+    return r, s
+
+
+def tpch_lineitem_like(
+    rows: int, seed: int = 0
+) -> Tuple[np.ndarray, dict]:
+    """A lineitem-shaped table for group-by experiments.
+
+    Returns ``(order_key, columns)`` where columns contains quantity,
+    extended price, a 4-value return flag and a 2-value line status —
+    enough to express Q1-like (tiny cardinality) and Q18-like (huge
+    cardinality) aggregations.
+    """
+    rng = np.random.default_rng(seed)
+    orders = max(1, rows // 4)  # ~4 lineitems per order, as in TPC-H
+    order_key = rng.integers(0, orders, rows).astype(np.int32)
+    columns = {
+        "quantity": rng.integers(1, 51, rows).astype(np.int32),
+        "extendedprice": rng.integers(900, 105000, rows).astype(np.int32),
+        "returnflag": rng.integers(0, 4, rows).astype(np.int32),
+        "linestatus": rng.integers(0, 2, rows).astype(np.int32),
+    }
+    return order_key, columns

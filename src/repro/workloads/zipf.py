@@ -1,0 +1,57 @@
+"""Zipf-distributed foreign-key sampling (Section 5.2.4).
+
+The paper generates skewed foreign keys from a Zipfian distribution and
+varies the Zipf factor to adjust skew; factor 0 is uniform, factors
+beyond 1 concentrate most of the mass on a handful of keys.  We sample
+by inverse-CDF over the finite key domain, with the hot ranks scattered
+to random key values so skew is not correlated with key magnitude.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def zipf_cdf(domain_size: int, zipf_factor: float) -> np.ndarray:
+    """CDF of the Zipf(``zipf_factor``) distribution over ranks 1..n."""
+    if domain_size <= 0:
+        raise ValueError("domain_size must be positive")
+    if zipf_factor < 0:
+        raise ValueError("zipf_factor must be >= 0")
+    ranks = np.arange(1, domain_size + 1, dtype=np.float64)
+    weights = ranks ** (-zipf_factor)
+    cdf = np.cumsum(weights)
+    cdf /= cdf[-1]
+    return cdf
+
+
+def sample_zipf(
+    domain_size: int,
+    size: int,
+    zipf_factor: float,
+    rng: np.random.Generator,
+    shuffle_ranks: bool = True,
+) -> np.ndarray:
+    """Draw *size* keys from ``[0, domain_size)`` with Zipfian frequency.
+
+    ``shuffle_ranks=True`` maps rank r to a random key value so that the
+    hottest keys are spread across the domain (as after the paper's key
+    shuffling) rather than clustered at 0.
+    """
+    if zipf_factor == 0.0:
+        return rng.integers(0, domain_size, size=size, dtype=np.int64)
+    cdf = zipf_cdf(domain_size, zipf_factor)
+    u = rng.random(size)
+    ranks = np.searchsorted(cdf, u, side="left")
+    if shuffle_ranks:
+        permutation = rng.permutation(domain_size)
+        return permutation[ranks].astype(np.int64)
+    return ranks.astype(np.int64)
+
+
+def hottest_key_share(keys: np.ndarray) -> float:
+    """Fraction of samples taken by the most frequent key (skew metric)."""
+    if keys.size == 0:
+        return 0.0
+    counts = np.bincount(keys - keys.min())
+    return float(counts.max()) / keys.size

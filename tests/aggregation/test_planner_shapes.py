@@ -1,0 +1,123 @@
+"""Aggregation planner rules and emergent cardinality regimes."""
+
+import numpy as np
+import pytest
+
+from repro.aggregation import (
+    AggSpec,
+    GroupByConfig,
+    GroupByWorkloadProfile,
+    make_groupby_algorithm,
+    recommend_groupby_algorithm,
+)
+from repro.aggregation.hash_groupby import atomic_contention
+from repro.aggregation.partitioned_groupby import derive_groupby_bits
+from repro.errors import AggregationConfigError
+from repro.gpusim.device import A100
+from repro.workloads import GroupByWorkloadSpec, generate_groupby_workload
+
+
+class TestPlannerRules:
+    def test_tiny_cardinality_hash(self):
+        rec = recommend_groupby_algorithm(
+            GroupByWorkloadProfile(rows=1 << 24, estimated_groups=16)
+        )
+        assert rec.algorithm == "HASH-AGG"
+        assert "shared memory" in rec.explain()
+
+    def test_huge_cardinality_partitioned(self):
+        rec = recommend_groupby_algorithm(
+            GroupByWorkloadProfile(rows=1 << 24, estimated_groups=1 << 23)
+        )
+        assert rec.algorithm == "PART-AGG"
+        assert "exceeds L2" in rec.explain()
+
+    def test_mid_cardinality_contention_rule(self):
+        # Table fits L2 but rows-per-group is huge: partitioned wins.
+        rec = recommend_groupby_algorithm(
+            GroupByWorkloadProfile(rows=1 << 26, estimated_groups=1 << 15)
+        )
+        assert rec.algorithm == "PART-AGG"
+
+    def test_mid_cardinality_low_contention_hash(self):
+        rec = recommend_groupby_algorithm(
+            GroupByWorkloadProfile(rows=1 << 20, estimated_groups=1 << 15)
+        )
+        assert rec.algorithm == "HASH-AGG"
+
+    def test_skew_in_l2_regime_prefers_partitioned(self):
+        rec = recommend_groupby_algorithm(
+            GroupByWorkloadProfile(
+                rows=1 << 20, estimated_groups=1 << 15, zipf_factor=1.5
+            )
+        )
+        assert rec.algorithm == "PART-AGG"
+
+
+class TestEmergentRegimes:
+    """The planner's rules must match what the simulator measures."""
+
+    @pytest.mark.parametrize("groups,expected_winner", [(8, "HASH-AGG"), (20000, "PART-AGG")])
+    def test_measured_winner(self, setup, groups, expected_winner):
+        keys, values = generate_groupby_workload(
+            GroupByWorkloadSpec(rows=1 << 15, groups=groups, seed=0)
+        )
+        times = {}
+        for name in ("HASH-AGG", "SORT-AGG", "PART-AGG"):
+            res = make_groupby_algorithm(name).group_by(
+                keys, values, [AggSpec("v1", "sum")], device=setup.device, seed=0
+            )
+            times[name] = res.total_seconds
+        assert min(times, key=times.get) == expected_winner
+
+    def test_skew_hurts_hash_not_partitioned(self, setup):
+        rows = 1 << 15
+        times = {}
+        for zipf in (0.0, 1.75):
+            keys, values = generate_groupby_workload(
+                GroupByWorkloadSpec(rows=rows, groups=rows // 256,
+                                    zipf_factor=zipf, seed=0)
+            )
+            for name in ("HASH-AGG", "PART-AGG"):
+                res = make_groupby_algorithm(name).group_by(
+                    keys, values, [AggSpec("v1", "sum")], device=setup.device, seed=0
+                )
+                times[(name, zipf)] = res.total_seconds
+        hash_growth = times[("HASH-AGG", 1.75)] / times[("HASH-AGG", 0.0)]
+        part_growth = times[("PART-AGG", 1.75)] / times[("PART-AGG", 0.0)]
+        assert part_growth < 1.2  # partitioned stays flat
+        assert hash_growth >= part_growth
+
+
+class TestHelpers:
+    def test_contention_grows_with_rows_per_group(self):
+        few = atomic_contention(np.zeros(1000, dtype=np.int64), 1000)
+        many = atomic_contention(np.zeros(1 << 20, dtype=np.int64), 4)
+        assert many > few
+
+    def test_contention_empty(self):
+        assert atomic_contention(np.empty(0, dtype=np.int64), 0) == 1.0
+
+    def test_derive_bits(self):
+        assert derive_groupby_bits(100, 4096) == 1
+        assert derive_groupby_bits(1 << 20, 4096) == 8
+        assert derive_groupby_bits(1 << 30, 4, forced=None) == 16
+        assert derive_groupby_bits(1 << 20, 4096, forced=3) == 3
+
+    def test_config_validation(self):
+        with pytest.raises(AggregationConfigError):
+            GroupByConfig(tuples_per_partition=0).validate()
+        with pytest.raises(AggregationConfigError):
+            GroupByConfig(table_load_factor=0.0).validate()
+        GroupByConfig().validate()  # defaults valid
+
+    def test_result_metrics(self, setup):
+        keys, values = generate_groupby_workload(
+            GroupByWorkloadSpec(rows=1000, groups=10, seed=0)
+        )
+        res = make_groupby_algorithm("PART-AGG").group_by(
+            keys, values, [AggSpec("v1", "sum")], device=setup.device
+        )
+        assert res.throughput_tuples_per_s == pytest.approx(1000 / res.total_seconds)
+        assert "PART-AGG" in res.describe()
+        assert res.column("group_key").size == res.groups

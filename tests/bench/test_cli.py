@@ -1,0 +1,38 @@
+"""The ``python -m repro.bench`` experiment runner."""
+
+import pytest
+
+from repro.bench.__main__ import build_parser, main
+from repro.bench.reporting import OUTPUT_DIR_ENV
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.experiments == []
+        assert args.scale > 0
+
+    def test_scale_override(self):
+        args = build_parser().parse_args(["fig01", "--scale", "0.001"])
+        assert args.experiments == ["fig01"]
+        assert args.scale == pytest.approx(0.001)
+
+
+class TestMain:
+    def test_no_args_lists_experiments(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "fig10" in out
+        assert "agg01" in out
+
+    def test_unknown_experiment_errors(self, capsys):
+        assert main(["figXX"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown" in err
+
+    def test_runs_one_experiment(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv(OUTPUT_DIR_ENV, str(tmp_path))
+        assert main(["tab04", "--scale", "0.0005"]) == 0
+        out = capsys.readouterr().out
+        assert "tab04" in out
+        assert (tmp_path / "tab04.txt").exists()

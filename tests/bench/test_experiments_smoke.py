@@ -1,0 +1,175 @@
+"""Every experiment runs end-to-end at tiny scale and reproduces the
+paper's qualitative findings.
+
+These are *shape* assertions with generous bands — the quantitative
+reproduction at the reporting scale lives in ``benchmarks/`` and
+EXPERIMENTS.md; here we guard against regressions in the directions.
+"""
+
+import pytest
+
+from repro.bench.experiments import ALL_EXPERIMENTS
+
+#: Tiny scale so the full matrix stays fast.
+SCALE = 2.0 ** -11
+
+
+@pytest.fixture(scope="module")
+def results():
+    cache = {}
+
+    def run(name):
+        if name not in cache:
+            cache[name] = ALL_EXPERIMENTS[name](scale=SCALE)
+        return cache[name]
+
+    return run
+
+
+@pytest.mark.parametrize("name", sorted(ALL_EXPERIMENTS))
+def test_runs_and_renders(results, name):
+    result = results(name)
+    assert result.experiment_id == name
+    assert result.rows, f"{name} produced no rows"
+    text = result.render()
+    assert name in text
+
+
+class TestJoinFindings:
+    def test_fig01_materialization_dominates_um(self, results):
+        result = results("fig01")
+        assert result.findings["phj_om_speedup_over_phj_um"] > 1.5
+        assert result.findings["smj_om_speedup_over_smj_um"] > 1.2
+        # *-UM rows have a materialization fraction above 50%.
+        um_rows = [row for row in result.rows if str(row[0]).endswith("UM")]
+        assert all(row[5] > 0.5 for row in um_rows)
+
+    def test_tab04_gather_gap(self, results):
+        result = results("tab04")
+        assert 5.0 <= result.findings["cycle_ratio"] <= 12.0
+        assert result.findings["sectors_per_request_unclustered"] > 24
+        assert result.findings["sectors_per_request_clustered"] < 8
+
+    def test_fig07_transform_plus_clustered_wins(self, results):
+        result = results("fig07")
+        assert result.findings["A100_partition_speedup"] > 1.3
+        assert result.findings["RTX3090_partition_speedup"] > 1.3
+
+    def test_fig08_gpu_beats_cpu_and_npj(self, results):
+        result = results("fig08")
+        assert result.findings["max_gpu_speedup_over_cpu"] > 10
+        assert result.findings["max_speedup_over_npj"] > 2
+
+    def test_fig09_narrow_variants_coincide(self, results):
+        result = results("fig09")
+        assert result.findings["smj_om_vs_smj_um_largest"] == pytest.approx(1.0, abs=0.05)
+        assert result.findings["phj_um_vs_phj_om_largest"] == pytest.approx(1.0, abs=0.3)
+
+    def test_fig10_headline_speedups(self, results):
+        result = results("fig10")
+        assert result.findings["phj_om_speedup_over_phj_um"] > 1.7
+        assert result.findings["smj_om_speedup_over_smj_um"] > 1.2
+        assert result.findings["phj_om_speedup_over_smj_om"] > 1.1
+
+    def test_fig11_om_wins_all_ratios(self, results):
+        assert results("fig11").findings["om_wins_all_ratios"] == 1.0
+
+    def test_fig12_advantage_persists_with_width(self, results):
+        assert results("fig12").findings["phj_om_over_phj_um_widest"] > 1.5
+
+    def test_fig13_match_ratio_crossover(self, results):
+        result = results("fig13")
+        assert result.findings["low_ratio_winner_is_um"] == 1.0
+        assert result.findings["high_ratio_winner_is_om"] == 1.0
+
+    def test_fig14_skew(self, results):
+        result = results("fig14")
+        assert result.findings["phj_um_transform_blowup"] > 3.0
+        assert result.findings["phj_om_flatness"] < 1.3
+        assert result.findings["phj_om_always_best"] == 1.0
+
+    def test_fig15_types(self, results):
+        result = results("fig15")
+        assert result.findings["phj_om_best_all_types"] == 1.0
+        assert result.findings["smj_om_loses_edge_wide"] < 1.2
+
+    def test_tab05_memory(self, results):
+        result = results("tab05")
+        assert result.findings["om_over_um_worst_ratio"] < 1.15
+        assert result.findings["om_wins_uniform_and_wide"] == 1.0
+
+    def test_fig16_sequences(self, results):
+        result = results("fig16")
+        assert result.findings["phj_om_ratio_at_8"] > 1.4
+        assert result.findings["advantage_grows"] == 1.0
+
+    def test_fig17_phj_om_dominates(self, results):
+        assert results("fig17").findings["phj_om_win_fraction"] >= 0.5
+
+    def test_fig18_planner(self, results):
+        assert results("fig18").findings["planner_accuracy"] >= 0.8
+
+
+class TestAggregationFindings:
+    def test_agg01_regimes(self, results):
+        result = results("agg01")
+        assert result.findings["hash_wins_smallest"] == 1.0
+        assert result.findings["part_wins_largest"] == 1.0
+
+    def test_agg02_partitioned_flat_under_skew(self, results):
+        assert results("agg02").findings["part_agg_flatness"] < 1.3
+
+    def test_agg03_gftr_folds_win(self, results):
+        result = results("agg03")
+        assert result.findings["gftr_wins_all_widths"] == 1.0
+
+    def test_agg04_type_asymmetry(self, results):
+        result = results("agg04")
+        assert result.findings["part_agg_wins_4b_keys"] == 1.0
+        assert result.findings["hash_less_type_sensitive"] == 1.0
+
+    def test_agg05_planner(self, results):
+        assert results("agg05").findings["planner_accuracy"] >= 0.8
+
+    def test_agg06_tpch_shapes(self, results):
+        result = results("agg06")
+        assert result.findings["q1_hash_wins"] == 1.0
+        assert result.findings["q18_part_wins"] == 1.0
+
+
+class TestExtensionFindings:
+    def test_ext01_out_of_core_degrades_monotonically(self, results):
+        result = results("ext01")
+        assert result.findings["monotone_degradation"] == 1.0
+        assert result.findings["in_memory_over_smallest_budget"] > 1.0
+
+    def test_ext02_fusion_benefit_grows(self, results):
+        result = results("ext02")
+        assert result.findings["speedup_widest"] > 1.3
+        assert result.findings["benefit_grows_with_width"] == 1.0
+
+    def test_ext03_cross_device(self, results):
+        result = results("ext03")
+        assert result.findings["phj_om_wins_both_devices"] == 1.0
+        assert result.findings["a100_faster_absolute"] == 1.0
+
+    def test_fig18_costbased_planner(self, results):
+        assert results("fig18").findings["costbased_accuracy"] >= 0.8
+
+
+class TestAblationFindings:
+    def test_abl01_lazy_saves_memory_not_time(self, results):
+        result = results("abl01")
+        assert result.findings["memory_saving"] > 1.5
+        assert result.findings["time_ratio"] < 1.2
+
+    def test_abl02_single_pass_faster(self, results):
+        assert results("abl02").findings["match_phase_saving"] > 1.2
+
+    def test_abl03_derived_bits_near_optimal(self, results):
+        assert results("abl03").findings["derived_regret"] < 0.35
+
+    def test_abl04_load_balancing(self, results):
+        result = results("abl04")
+        assert result.findings["skewed_penalty_without_balancing"] > 2.0
+        assert result.findings["uniform_penalty_without_balancing"] < 1.3

@@ -1,0 +1,98 @@
+"""Bench harness: scaled setups, result rendering, persistence."""
+
+import os
+
+import pytest
+
+from repro.bench.harness import (
+    DEFAULT_SCALE,
+    ExperimentResult,
+    make_setup,
+    median,
+    phase_columns,
+    run_algorithm,
+    throughput_mtuples,
+)
+from repro.bench.reporting import OUTPUT_DIR_ENV, results_dir, save_result
+from repro.workloads import JoinWorkloadSpec, generate_join_workload
+
+
+class TestSetup:
+    def test_scaled_geometry(self):
+        setup = make_setup(2 ** -8)
+        assert setup.device.l2_bytes < 1 << 20
+        assert setup.config.tuples_per_partition == max(32, 4096 // 256)
+
+    def test_rows_scaling(self):
+        setup = make_setup(2 ** -8)
+        assert setup.rows(1 << 27) == 1 << 19
+        assert setup.rows(1) == 64  # floor
+
+    def test_config_overrides(self):
+        setup = make_setup(2 ** -8, config_overrides={"double_merge_pass": True})
+        assert setup.config.double_merge_pass
+
+    def test_run_algorithm_routes_cpu_device(self):
+        setup = make_setup(2 ** -12)
+        r, s = generate_join_workload(
+            JoinWorkloadSpec(r_rows=500, s_rows=900, seed=0)
+        )
+        gpu = run_algorithm("PHJ-OM", r, s, setup)
+        cpu = run_algorithm("CPU", r, s, setup)
+        assert gpu.device.name.startswith("A100")
+        assert cpu.device.name.startswith("CPU")
+
+    def test_median(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+        assert median([4.0, 1.0]) == 2.5
+
+
+class TestExperimentResult:
+    def test_render_contains_rows_and_findings(self):
+        result = ExperimentResult(
+            experiment_id="figXX", title="demo", headers=["a", "b"]
+        )
+        result.add_row("x", 1.2345)
+        result.findings["speedup"] = 2.0
+        result.add_note("hello")
+        text = result.render()
+        assert "figXX" in text
+        assert "1.234" in text
+        assert "speedup" in text
+        assert "note: hello" in text
+
+    def test_cell_formatting(self):
+        result = ExperimentResult("e", "t", ["v"])
+        result.add_row(1234567.0)
+        result.add_row(0.000012)
+        text = result.render()
+        assert "e+06" in text
+        assert "e-05" in text
+
+    def test_phase_columns_and_throughput(self):
+        setup = make_setup(2 ** -12)
+        r, s = generate_join_workload(
+            JoinWorkloadSpec(r_rows=500, s_rows=900, r_payload_columns=2,
+                             s_payload_columns=2, seed=0)
+        )
+        res = run_algorithm("PHJ-OM", r, s, setup)
+        t, m, z = phase_columns(res)
+        assert t > 0 and m > 0 and z > 0
+        assert throughput_mtuples(res) == pytest.approx(
+            res.throughput_tuples_per_s / 1e6
+        )
+
+
+class TestPersistence:
+    def test_save_result_writes_file(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(OUTPUT_DIR_ENV, str(tmp_path))
+        result = ExperimentResult("figtest", "t", ["a"])
+        result.add_row(1)
+        path = save_result(result)
+        assert path.exists()
+        assert "figtest" in path.read_text()
+
+    def test_results_dir_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(OUTPUT_DIR_ENV, str(tmp_path / "deep"))
+        assert results_dir() == tmp_path / "deep"
+        assert (tmp_path / "deep").exists()

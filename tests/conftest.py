@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite.
+
+Tests run at a small scale (2^-12 of the paper's 2^27-tuple workloads)
+with device geometry scaled identically, so regime behaviour matches
+paper scale while the suite stays fast.  See
+``repro.gpusim.device.scaled_device`` for the scaling rationale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import make_setup
+from repro.gpusim import A100, GPUContext
+from repro.gpusim.device import scaled_device
+
+#: Scale used by most tests (2^27 -> 2^15 tuples).
+TEST_SCALE = 2.0 ** -12
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def ctx():
+    """A fresh full-size A100 context."""
+    return GPUContext(device=A100, seed=99)
+
+
+@pytest.fixture
+def scaled_ctx():
+    """A context on the geometry-scaled A100 used for shape tests."""
+    return GPUContext(device=scaled_device(A100, TEST_SCALE), seed=99)
+
+
+@pytest.fixture
+def setup():
+    """The standard scaled experiment setup (device + join config)."""
+    return make_setup(TEST_SCALE)

@@ -1,0 +1,58 @@
+"""Device-capacity enforcement: joins fail cleanly when memory runs out."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeviceOutOfMemoryError
+from repro.gpusim import A100, GPUContext
+from repro.joins import PartitionedHashJoin, SortMergeJoinUM
+from repro.workloads import JoinWorkloadSpec, generate_join_workload
+
+
+@pytest.fixture
+def relations():
+    return generate_join_workload(
+        JoinWorkloadSpec(r_rows=4096, s_rows=8192, r_payload_columns=2,
+                         s_payload_columns=2, seed=0)
+    )
+
+
+class TestEnforcedCapacity:
+    def test_join_raises_oom_on_tiny_device(self, relations):
+        r, s = relations
+        ctx = GPUContext(device=A100, mem_capacity=1024, enforce_capacity=True)
+        with pytest.raises(DeviceOutOfMemoryError):
+            PartitionedHashJoin().join(r, s, ctx=ctx)
+
+    def test_join_succeeds_with_headroom(self, relations):
+        r, s = relations
+        # Auxiliary footprint is a few hundred KB at this size.
+        ctx = GPUContext(device=A100, mem_capacity=64 << 20, enforce_capacity=True)
+        result = SortMergeJoinUM().join(r, s, ctx=ctx)
+        assert result.matches == s.num_rows
+
+    def test_oom_error_reports_numbers(self, relations):
+        r, s = relations
+        ctx = GPUContext(device=A100, mem_capacity=4096, enforce_capacity=True)
+        with pytest.raises(DeviceOutOfMemoryError) as info:
+            SortMergeJoinUM().join(r, s, ctx=ctx)
+        assert info.value.capacity == 4096
+        assert info.value.requested > 0
+
+    def test_default_context_does_not_enforce(self, relations):
+        r, s = relations
+        ctx = GPUContext(device=A100.with_overrides(global_mem_bytes=1))
+        result = PartitionedHashJoin().join(r, s, ctx=ctx)  # no OOM
+        assert result.matches == s.num_rows
+
+    def test_gftr_fits_where_eager_would_not(self, relations):
+        """Algorithm 1's memory claim, enforced: a budget sized between
+        the lazy and eager peaks admits the lazy pattern."""
+        r, s = relations
+        probe = GPUContext(device=A100)
+        PartitionedHashJoin().join(r, s, ctx=probe)
+        lazy_peak = probe.mem.peak_bytes
+        budget = int(lazy_peak * 1.1)
+        ctx = GPUContext(device=A100, mem_capacity=budget, enforce_capacity=True)
+        result = PartitionedHashJoin().join(r, s, ctx=ctx)
+        assert result.matches == s.num_rows

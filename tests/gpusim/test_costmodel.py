@@ -1,0 +1,119 @@
+"""Cost model: component math and the paper's calibration anchors."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import A100, CostModel, GPUContext, KernelStats
+from repro.gpusim.device import SECTOR_BYTES, scaled_device
+from repro.primitives.gather import gather
+
+
+class TestComponents:
+    def test_sequential_traffic_at_peak_bandwidth(self):
+        model = CostModel(A100.with_overrides(kernel_launch_overhead_s=0.0))
+        stats = KernelStats(name="k", seq_read_bytes=int(A100.mem_bandwidth))
+        assert model.time(stats) == pytest.approx(1.0)
+
+    def test_launch_overhead_per_kernel(self):
+        model = CostModel(A100)
+        stats = KernelStats(name="k", launches=3)
+        assert model.breakdown(stats).launch == pytest.approx(
+            3 * A100.kernel_launch_overhead_s
+        )
+
+    def test_cold_sectors_cheaper_with_locality(self):
+        model = CostModel(A100)
+        local = KernelStats(
+            name="k", random_sector_touches=1000, random_cold_sectors=1000,
+            locality_footprint_bytes=1024.0,
+        )
+        remote = KernelStats(
+            name="k", random_sector_touches=1000, random_cold_sectors=1000,
+            locality_footprint_bytes=float(A100.l2_bytes * 100),
+        )
+        assert model.breakdown(local).random < model.breakdown(remote).random
+
+    def test_warm_sectors_served_by_l2_when_local(self):
+        model = CostModel(A100)
+        stats = KernelStats(
+            name="k", random_sector_touches=10_000, random_cold_sectors=100,
+            locality_footprint_bytes=1024.0,
+        )
+        # warm traffic at l2 speed: bytes / (bw * factor), plus cold.
+        warm_bytes = (10_000 - 100) * SECTOR_BYTES
+        expected_warm = warm_bytes / (A100.mem_bandwidth * A100.l2_bandwidth_factor)
+        assert model.breakdown(stats).random >= expected_warm
+
+    def test_atomic_cost_only_for_conflicts(self):
+        model = CostModel(A100)
+        clean = KernelStats(name="k", atomic_ops=10 ** 6, atomic_conflict_factor=1.0)
+        contended = KernelStats(name="k", atomic_ops=10 ** 6, atomic_conflict_factor=3.0)
+        assert model.breakdown(clean).atomic == 0.0
+        assert model.breakdown(contended).atomic > 0.0
+
+    def test_compute_scales_with_items_and_units(self):
+        model = CostModel(A100)
+        one = model.breakdown(KernelStats(name="k", items=10 ** 6)).compute
+        two = model.breakdown(KernelStats(name="k", items=2 * 10 ** 6)).compute
+        assert two == pytest.approx(2 * one)
+
+    def test_l2_hit_probability_clamped(self):
+        model = CostModel(A100)
+        assert model.l2_hit_probability(0) == 1.0
+        assert model.l2_hit_probability(A100.l2_bytes / 2) == 1.0
+        assert model.l2_hit_probability(A100.l2_bytes * 4) == pytest.approx(0.25)
+
+    def test_cycles_from_clock(self):
+        model = CostModel(A100)
+        stats = KernelStats(name="k", seq_read_bytes=10 ** 9)
+        assert model.cycles(stats) == pytest.approx(model.time(stats) * A100.clock_hz)
+
+    def test_breakdown_total_is_sum(self):
+        model = CostModel(A100)
+        stats = KernelStats(
+            name="k", items=1000, seq_read_bytes=4000, seq_write_bytes=4000,
+            random_sector_touches=100, random_cold_sectors=50,
+            locality_footprint_bytes=1e9, atomic_ops=10, atomic_conflict_factor=2.0,
+        )
+        b = model.breakdown(stats)
+        assert b.total == pytest.approx(
+            b.launch + b.sequential + b.random + b.atomic + b.compute
+        )
+
+
+class TestCalibrationAnchors:
+    """The published counters the model is calibrated against (Table 4)."""
+
+    @pytest.fixture(scope="class")
+    def gather_times(self):
+        # 2^22 items on a geometry-scaled device reproduces the 2^27
+        # paper regime (footprint >> L2).
+        scale = 2.0 ** -5
+        device = scaled_device(A100, scale)
+        n = 1 << 22
+        rng = np.random.default_rng(0)
+        src = np.arange(n, dtype=np.int32)
+        unclustered = rng.permutation(n).astype(np.int32)
+        clustered = np.sort(unclustered)
+        times = {}
+        for label, index_map in (("unclustered", unclustered), ("clustered", clustered)):
+            ctx = GPUContext(device=device)
+            gather(ctx, src, index_map)
+            times[label] = ctx.elapsed_seconds
+        return times
+
+    def test_unclustered_vs_clustered_ratio_near_8_5(self, gather_times):
+        ratio = gather_times["unclustered"] / gather_times["clustered"]
+        assert 6.0 <= ratio <= 12.0, f"Table 4 anchor violated: {ratio:.2f}"
+
+    def test_ratio_collapses_when_l2_resident(self):
+        # Small footprint: random gathers are cache-resident and cheap
+        # (the paper's J3 observation).
+        n = 1 << 14
+        rng = np.random.default_rng(0)
+        src = np.arange(n, dtype=np.int32)
+        ctx_r = GPUContext(device=A100)
+        gather(ctx_r, src, rng.permutation(n).astype(np.int32))
+        ctx_c = GPUContext(device=A100)
+        gather(ctx_c, src, np.arange(n, dtype=np.int32))
+        assert ctx_r.elapsed_seconds / ctx_c.elapsed_seconds < 3.0

@@ -1,0 +1,87 @@
+"""Device spec presets and geometry scaling."""
+
+import pytest
+
+from repro.gpusim.device import (
+    A100,
+    BUILTIN_DEVICES,
+    CPU_SERVER,
+    RTX3090,
+    get_device,
+    scaled_device,
+)
+
+
+class TestPresets:
+    def test_a100_matches_table3(self):
+        assert A100.num_execution_units == 108
+        assert A100.l2_bytes == 40 * 1024 * 1024
+        assert A100.global_mem_bytes == 40 * 1024 ** 3
+        assert A100.mem_bandwidth == pytest.approx(1555e9)
+        assert A100.shared_mem_bytes == 164 * 1024
+        assert A100.is_gpu
+
+    def test_rtx3090_matches_table3(self):
+        assert RTX3090.num_execution_units == 82
+        assert RTX3090.l2_bytes == 6 * 1024 * 1024
+        assert RTX3090.clock_hz == pytest.approx(1.395e9)
+        assert RTX3090.is_gpu
+
+    def test_cpu_is_not_gpu(self):
+        assert not CPU_SERVER.is_gpu
+        assert CPU_SERVER.per_item_cost_s > A100.per_item_cost_s
+
+    def test_a100_faster_memory_than_rtx3090(self):
+        assert A100.mem_bandwidth > RTX3090.mem_bandwidth
+        assert A100.l2_bytes > RTX3090.l2_bytes
+
+    def test_registry_lookup(self):
+        assert get_device("A100") is A100
+        assert set(BUILTIN_DEVICES) == {"A100", "RTX3090", "CPU-2S-NUMA"}
+
+    def test_unknown_device_lists_known(self):
+        with pytest.raises(KeyError, match="A100"):
+            get_device("H100")
+
+    def test_describe_mentions_name_and_bandwidth(self):
+        text = A100.describe()
+        assert "A100" in text
+        assert "GB/s" in text
+
+
+class TestScaledDevice:
+    def test_scale_one_is_identity(self):
+        assert scaled_device(A100, 1.0) is A100
+
+    def test_geometry_scales_but_bandwidth_does_not(self):
+        scaled = scaled_device(A100, 0.5)
+        assert scaled.l2_bytes == A100.l2_bytes // 2
+        assert scaled.shared_mem_bytes == A100.shared_mem_bytes // 2
+        assert scaled.global_mem_bytes == A100.global_mem_bytes // 2
+        assert scaled.mem_bandwidth == A100.mem_bandwidth
+        assert scaled.per_item_cost_s == A100.per_item_cost_s
+
+    def test_launch_overhead_scales(self):
+        scaled = scaled_device(A100, 0.25)
+        assert scaled.kernel_launch_overhead_s == pytest.approx(
+            A100.kernel_launch_overhead_s * 0.25
+        )
+
+    def test_name_records_scale(self):
+        assert "@" in scaled_device(A100, 0.5).name
+
+    def test_tiny_scale_keeps_minimum_sizes(self):
+        scaled = scaled_device(A100, 1e-9)
+        assert scaled.l2_bytes >= 4096
+        assert scaled.shared_mem_bytes >= 1024
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, 2.0])
+    def test_invalid_scale_rejected(self, bad):
+        with pytest.raises(ValueError):
+            scaled_device(A100, bad)
+
+    def test_with_overrides(self):
+        custom = A100.with_overrides(l2_bytes=123)
+        assert custom.l2_bytes == 123
+        assert custom.mem_bandwidth == A100.mem_bandwidth
+        assert A100.l2_bytes != 123  # original untouched

@@ -1,0 +1,70 @@
+"""KernelStats invariants and merging."""
+
+import pytest
+
+from repro.gpusim.kernel import KernelStats
+
+
+class TestValidate:
+    def test_defaults_valid(self):
+        KernelStats(name="k").validate()
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError, match="seq_read_bytes"):
+            KernelStats(name="k", seq_read_bytes=-1).validate()
+
+    def test_cold_exceeding_touches_rejected(self):
+        with pytest.raises(ValueError, match="cold sectors"):
+            KernelStats(
+                name="k", random_sector_touches=5, random_cold_sectors=6
+            ).validate()
+
+    def test_conflict_factor_below_one_rejected(self):
+        with pytest.raises(ValueError, match="atomic_conflict_factor"):
+            KernelStats(name="k", atomic_conflict_factor=0.5).validate()
+
+
+class TestDerived:
+    def test_total_seq_bytes(self):
+        stats = KernelStats(name="k", seq_read_bytes=10, seq_write_bytes=5)
+        assert stats.total_seq_bytes == 15
+
+    def test_sectors_per_request(self):
+        stats = KernelStats(name="k", random_requests=4, random_sector_touches=40)
+        assert stats.sectors_per_request == 10.0
+
+    def test_sectors_per_request_zero_requests(self):
+        assert KernelStats(name="k").sectors_per_request == 0.0
+
+
+class TestMerge:
+    def test_merge_adds_counters(self):
+        a = KernelStats(name="a", items=10, seq_read_bytes=100, launches=1)
+        b = KernelStats(name="b", items=20, seq_write_bytes=50, launches=2)
+        merged = a.merged_with(b, name="ab")
+        assert merged.name == "ab"
+        assert merged.items == 30
+        assert merged.seq_read_bytes == 100
+        assert merged.seq_write_bytes == 50
+        assert merged.launches == 3
+
+    def test_merge_weights_footprint_by_touches(self):
+        a = KernelStats(
+            name="a", random_sector_touches=100, locality_footprint_bytes=10.0
+        )
+        b = KernelStats(
+            name="b", random_sector_touches=300, locality_footprint_bytes=50.0
+        )
+        merged = a.merged_with(b)
+        assert merged.locality_footprint_bytes == pytest.approx(40.0)
+
+    def test_merge_weights_conflicts_by_atomics(self):
+        a = KernelStats(name="a", atomic_ops=100, atomic_conflict_factor=1.0)
+        b = KernelStats(name="b", atomic_ops=100, atomic_conflict_factor=3.0)
+        merged = a.merged_with(b)
+        assert merged.atomic_conflict_factor == pytest.approx(2.0)
+
+    def test_merge_without_random_traffic(self):
+        merged = KernelStats(name="a").merged_with(KernelStats(name="b"))
+        assert merged.locality_footprint_bytes == 0.0
+        assert merged.atomic_conflict_factor == 1.0

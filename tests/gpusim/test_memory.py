@@ -1,0 +1,157 @@
+"""Device memory allocator: tracking, peaks, phases, failure modes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AllocationError, DeviceOutOfMemoryError
+from repro.gpusim.memory import DeviceMemory
+
+
+class TestAllocFree:
+    def test_alloc_counts_bytes(self):
+        mem = DeviceMemory()
+        arr = mem.alloc(1024, np.int32, "a")
+        assert mem.current_bytes == 4096
+        assert arr.nbytes == 4096
+        assert arr.size == 1024
+
+    def test_free_returns_bytes(self):
+        mem = DeviceMemory()
+        arr = mem.alloc(10, np.int64)
+        mem.free(arr)
+        assert mem.current_bytes == 0
+        assert arr.freed
+
+    def test_double_free_rejected(self):
+        mem = DeviceMemory()
+        arr = mem.alloc(10, np.int64)
+        mem.free(arr)
+        with pytest.raises(AllocationError, match="double free"):
+            mem.free(arr)
+
+    def test_use_after_free_rejected(self):
+        mem = DeviceMemory()
+        arr = mem.alloc(10, np.int64, "victim")
+        mem.free(arr)
+        with pytest.raises(AllocationError, match="use after free"):
+            _ = arr.data
+
+    def test_free_foreign_array_rejected(self):
+        mem_a, mem_b = DeviceMemory(), DeviceMemory()
+        arr = mem_a.alloc(10, np.int64)
+        with pytest.raises(AllocationError, match="not owned"):
+            mem_b.free(arr)
+
+    def test_from_host_copies(self):
+        mem = DeviceMemory()
+        host = np.arange(5)
+        dev = mem.from_host(host, "copy")
+        host[0] = 99
+        assert dev.data[0] == 0
+
+    def test_adopt_does_not_copy(self):
+        mem = DeviceMemory()
+        host = np.arange(5)
+        dev = mem.adopt(host)
+        assert dev.data is not None
+        assert mem.current_bytes == host.nbytes
+
+    def test_free_all_skips_already_freed(self):
+        mem = DeviceMemory()
+        a, b = mem.alloc(1, np.int8), mem.alloc(1, np.int8)
+        mem.free(a)
+        mem.free_all([a, b])
+        assert mem.current_bytes == 0
+
+    def test_free_by_prefix(self):
+        mem = DeviceMemory()
+        mem.alloc(1, np.int8, "part_keys_r")
+        mem.alloc(1, np.int8, "part_keys_s")
+        keep = mem.alloc(1, np.int8, "other")
+        assert mem.free_by_prefix("part_keys_") == 2
+        assert mem.live_labels == ["other"]
+        mem.free(keep)
+
+
+class TestPeaks:
+    def test_peak_tracks_high_water_mark(self):
+        mem = DeviceMemory()
+        a = mem.alloc(1000, np.int8)
+        b = mem.alloc(2000, np.int8)
+        mem.free(a)
+        mem.free(b)
+        assert mem.peak_bytes == 3000
+        assert mem.current_bytes == 0
+
+    def test_phase_peaks(self):
+        mem = DeviceMemory()
+        mem.set_phase("transform")
+        a = mem.alloc(100, np.int8)
+        mem.set_phase("match")
+        b = mem.alloc(50, np.int8)
+        mem.free(a)
+        mem.set_phase(None)
+        assert mem.phase_peaks["transform"] == 100
+        assert mem.phase_peaks["match"] == 150
+        mem.free(b)
+
+    def test_phase_records_entry_level(self):
+        mem = DeviceMemory()
+        a = mem.alloc(70, np.int8)
+        mem.set_phase("late")
+        assert mem.phase_peaks["late"] == 70
+        mem.free(a)
+
+    def test_reset_peak(self):
+        mem = DeviceMemory()
+        a = mem.alloc(100, np.int8)
+        mem.free(a)
+        mem.reset_peak()
+        assert mem.peak_bytes == 0
+
+
+class TestCapacity:
+    def test_oom_raises_with_details(self):
+        mem = DeviceMemory(capacity_bytes=100)
+        mem.alloc(60, np.int8)
+        with pytest.raises(DeviceOutOfMemoryError) as info:
+            mem.alloc(60, np.int8)
+        assert info.value.requested == 60
+        assert info.value.in_use == 60
+        assert info.value.capacity == 100
+
+    def test_free_makes_room(self):
+        mem = DeviceMemory(capacity_bytes=100)
+        a = mem.alloc(80, np.int8)
+        mem.free(a)
+        mem.alloc(80, np.int8)  # does not raise
+
+    def test_unlimited_when_capacity_none(self):
+        mem = DeviceMemory()
+        mem.alloc(10 ** 7, np.int8)  # no error
+
+
+class TestLeakDetection:
+    def test_assert_no_leaks_passes_when_clean(self):
+        mem = DeviceMemory()
+        a = mem.alloc(1, np.int8, "x")
+        mem.free(a)
+        mem.assert_no_leaks()
+
+    def test_assert_no_leaks_reports_labels(self):
+        mem = DeviceMemory()
+        mem.alloc(1, np.int8, "leaky")
+        with pytest.raises(AllocationError, match="leaky"):
+            mem.assert_no_leaks()
+
+    def test_allowed_labels_are_ignored(self):
+        mem = DeviceMemory()
+        mem.alloc(1, np.int8, "expected")
+        mem.assert_no_leaks(allowed_labels=["expected"])
+
+    def test_live_count(self):
+        mem = DeviceMemory()
+        a = mem.alloc(1, np.int8)
+        assert mem.live_count == 1
+        mem.free(a)
+        assert mem.live_count == 0

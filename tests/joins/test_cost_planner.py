@@ -1,0 +1,101 @@
+"""Calibrated cost-based planner (Section 5.4's optimizer input)."""
+
+import pytest
+
+from repro.gpusim.device import A100, scaled_device
+from repro.joins.cost_planner import (
+    PRICED_ALGORITHMS,
+    calibrate_primitives,
+    estimate_join_seconds,
+    price_all,
+    recommend_join_algorithm_costbased,
+)
+from repro.joins.planner import JoinWorkloadProfile
+
+
+@pytest.fixture(scope="module")
+def calibration():
+    # Calibrate at a footprint >> scaled L2 (the paper-scale regime).
+    return calibrate_primitives(scaled_device(A100, 2 ** -10), sample_items=1 << 17)
+
+
+def _profile(**kw):
+    base = dict(
+        r_rows=1 << 17, s_rows=1 << 17,
+        r_payload_columns=2, s_payload_columns=2,
+        key_bytes=4, payload_bytes=4, match_ratio=1.0, zipf_factor=0.0,
+    )
+    base.update(kw)
+    return JoinWorkloadProfile(**base)
+
+
+class TestCalibration:
+    def test_rate_ordering(self, calibration):
+        assert calibration.seq_bytes_per_s >= calibration.clustered_gather_bytes_per_s
+        assert (
+            calibration.clustered_gather_bytes_per_s
+            > calibration.unclustered_gather_bytes_per_s
+        )
+
+    def test_unclustered_penalty_in_paper_band(self, calibration):
+        assert 5.0 <= calibration.unclustered_penalty <= 12.0
+
+    def test_l2_resident_calibration_is_faster(self):
+        # A tiny footprint stays in L2: the unclustered penalty collapses.
+        small = calibrate_primitives(A100, sample_items=1 << 12)
+        assert small.unclustered_penalty < 3.0
+
+
+class TestEstimates:
+    def test_prices_every_algorithm(self, calibration):
+        prices = price_all(_profile(), calibration)
+        assert set(prices) == set(PRICED_ALGORITHMS)
+        assert all(p > 0 for p in prices.values())
+
+    def test_unknown_algorithm(self, calibration):
+        with pytest.raises(KeyError):
+            estimate_join_seconds(_profile(), "NPJ", calibration)
+
+    def test_gftr_wins_wide_high_match(self, calibration):
+        prices = price_all(_profile(r_payload_columns=4, s_payload_columns=4),
+                           calibration)
+        assert min(prices, key=prices.get) == "PHJ-OM"
+
+    def test_gfur_wins_low_match(self, calibration):
+        prices = price_all(_profile(match_ratio=0.05), calibration)
+        assert min(prices, key=prices.get).endswith("UM")
+
+    def test_skew_penalizes_bucket_chain(self, calibration):
+        flat = estimate_join_seconds(_profile(), "PHJ-UM", calibration)
+        skewed = estimate_join_seconds(_profile(zipf_factor=1.75), "PHJ-UM",
+                                       calibration)
+        assert skewed > flat
+        # radix partitioning is not penalized
+        assert estimate_join_seconds(
+            _profile(zipf_factor=1.75), "PHJ-OM", calibration
+        ) == pytest.approx(estimate_join_seconds(_profile(), "PHJ-OM", calibration))
+
+    def test_wide_types_raise_om_transform_cost(self, calibration):
+        thin = estimate_join_seconds(_profile(), "SMJ-OM", calibration)
+        wide = estimate_join_seconds(_profile(payload_bytes=8), "SMJ-OM", calibration)
+        assert wide > thin
+
+
+class TestRecommendation:
+    def test_recommendation_carries_price_list(self, calibration):
+        rec = recommend_join_algorithm_costbased(_profile(), calibration)
+        assert rec.algorithm in PRICED_ALGORITHMS
+        assert any("estimated" in reason for reason in rec.reasons)
+        assert any("unclustered" in reason for reason in rec.reasons)
+
+    def test_agrees_with_tree_on_canonical_points(self, calibration):
+        from repro.joins.planner import recommend_join_algorithm
+
+        for profile in (
+            _profile(),                      # wide, full match -> PHJ-OM
+            _profile(match_ratio=0.05),      # low match -> *-UM
+        ):
+            tree = recommend_join_algorithm(profile).algorithm
+            cost = recommend_join_algorithm_costbased(profile, calibration).algorithm
+            # Same family (UM/OM suffix) even when the exact pick differs.
+            assert tree[-2:] == cost[-2:]

@@ -1,0 +1,107 @@
+"""Narrow-join fast path internals (Section 2.2's two-phase processing)."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import GPUContext
+from repro.joins import (
+    JoinConfig,
+    PartitionedHashJoin,
+    PartitionedHashJoinUM,
+    SortMergeJoinOM,
+    SortMergeJoinUM,
+)
+from repro.joins.narrow import is_narrow
+from repro.relational import Relation, reference_join
+from repro.workloads import JoinWorkloadSpec, generate_join_workload
+
+
+@pytest.fixture(scope="module")
+def narrow_relations():
+    return generate_join_workload(
+        JoinWorkloadSpec(r_rows=4096, s_rows=8192, r_payload_columns=1,
+                         s_payload_columns=1, seed=2)
+    )
+
+
+class TestDetection:
+    def test_is_narrow(self, narrow_relations):
+        r, s = narrow_relations
+        assert is_narrow(r, s)
+
+    def test_wide_not_narrow(self):
+        r, s = generate_join_workload(
+            JoinWorkloadSpec(r_rows=64, s_rows=64, r_payload_columns=2,
+                             s_payload_columns=1, seed=0)
+        )
+        assert not is_narrow(r, s)
+
+    def test_zero_payloads_is_narrow(self):
+        r = Relation([("key", np.arange(8, dtype=np.int32))], key="key")
+        assert is_narrow(r, r)
+
+
+class TestNarrowBehaviour:
+    def test_no_materialize_phase(self, narrow_relations, setup):
+        r, s = narrow_relations
+        for cls in (SortMergeJoinUM, SortMergeJoinOM, PartitionedHashJoin,
+                    PartitionedHashJoinUM):
+            result = cls(setup.config).join(r, s, device=setup.device, seed=0)
+            assert "materialize" not in result.phase_seconds
+
+    def test_output_correct(self, narrow_relations, setup):
+        r, s = narrow_relations
+        expected = reference_join(r, s)
+        for cls in (SortMergeJoinUM, PartitionedHashJoinUM):
+            result = cls(setup.config).join(r, s, device=setup.device, seed=0)
+            assert result.output.equals_unordered(expected)
+
+    def test_no_tuple_id_kernels(self, narrow_relations, setup):
+        """The narrow path never initializes physical tuple IDs."""
+        r, s = narrow_relations
+        ctx = GPUContext(device=setup.device, seed=0)
+        SortMergeJoinUM(setup.config).join(r, s, ctx=ctx)
+        names = [rec.stats.name for rec in ctx.timeline.records()]
+        assert not any(name.startswith("init_ids") for name in names)
+
+    def test_bucket_chain_skips_boundary_pass(self, narrow_relations, setup):
+        """PHJ-UM's small-input edge: no boundary histogram (Figure 9)."""
+        r, s = narrow_relations
+        ctx_um = GPUContext(device=setup.device, seed=0)
+        PartitionedHashJoinUM(setup.config).join(r, s, ctx=ctx_um)
+        ctx_om = GPUContext(device=setup.device, seed=0)
+        PartitionedHashJoin(setup.config).join(r, s, ctx=ctx_om)
+        um_names = [rec.stats.name for rec in ctx_um.timeline.records()]
+        om_names = [rec.stats.name for rec in ctx_om.timeline.records()]
+        assert not any("boundaries" in n for n in um_names)
+        assert any("boundaries" in n for n in om_names)
+
+    def test_no_leaks(self, narrow_relations, setup):
+        r, s = narrow_relations
+        for cls in (SortMergeJoinOM, PartitionedHashJoin, PartitionedHashJoinUM):
+            ctx = GPUContext(device=setup.device, seed=0)
+            cls(setup.config).join(r, s, ctx=ctx)
+            ctx.mem.assert_no_leaks()
+
+    def test_asymmetric_payload_counts_still_narrow(self, setup):
+        # 1 payload on one side, 0 on the other.
+        r, _ = generate_join_workload(
+            JoinWorkloadSpec(r_rows=256, s_rows=256, r_payload_columns=1,
+                             s_payload_columns=1, seed=1)
+        )
+        s = Relation([("key", np.arange(256, dtype=np.int32))], key="key")
+        result = PartitionedHashJoin(setup.config).join(r, s, device=setup.device)
+        assert result.output.column_names == ["key", "r1"]
+        assert "materialize" not in result.phase_seconds
+
+    def test_double_merge_pass_option_respected(self, narrow_relations, setup):
+        r, s = narrow_relations
+        cfg = JoinConfig(
+            tuples_per_partition=setup.config.tuples_per_partition,
+            bucket_tuples=setup.config.bucket_tuples,
+            double_merge_pass=True,
+        )
+        single = SortMergeJoinOM(setup.config).join(r, s, device=setup.device, seed=0)
+        double = SortMergeJoinOM(cfg).join(r, s, device=setup.device, seed=0)
+        assert double.phase_seconds["match"] > single.phase_seconds["match"]
+        assert single.output.equals_unordered(double.output)

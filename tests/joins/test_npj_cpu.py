@@ -1,0 +1,95 @@
+"""NPJ traffic characteristics and the CPU baseline's device routing."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import CPU_SERVER, GPUContext
+from repro.gpusim.device import scaled_device
+from repro.joins import CPURadixJoin, NonPartitionedHashJoin, PartitionedHashJoin
+from repro.relational import reference_join
+from repro.workloads import JoinWorkloadSpec, generate_join_workload
+
+
+@pytest.fixture(scope="module")
+def relations():
+    return generate_join_workload(
+        JoinWorkloadSpec(r_rows=4096, s_rows=8192, r_payload_columns=2,
+                         s_payload_columns=2, seed=3)
+    )
+
+
+class TestNPJ:
+    def test_random_table_traffic_charged(self, relations, setup):
+        r, s = relations
+        ctx = GPUContext(device=setup.device, seed=0)
+        NonPartitionedHashJoin(setup.config).join(r, s, ctx=ctx)
+        names = {rec.stats.name for rec in ctx.timeline.records()}
+        assert "npj_build" in names
+        assert "npj_probe" in names
+        build = next(rec.stats for rec in ctx.timeline.records()
+                     if rec.stats.name == "npj_build")
+        assert build.random_sector_touches > 0
+
+    def test_probe_side_materialization_clustered(self, relations, setup):
+        """Figure 10's nuance: NPJ's probe-side gathers stay clustered."""
+        r, s = relations
+        ctx = GPUContext(device=setup.device, seed=0)
+        NonPartitionedHashJoin(setup.config).join(r, s, ctx=ctx)
+        gathers = {
+            rec.stats.name: rec.stats
+            for rec in ctx.timeline.records("materialize")
+        }
+        probe_side = gathers["gather:s1"]
+        build_side = gathers["gather:r1"]
+        assert probe_side.sectors_per_request < build_side.sectors_per_request
+
+    def test_slower_than_partitioned_beyond_l2(self, setup):
+        """cuDF's random table accesses lose once the table spills L2."""
+        r, s = generate_join_workload(
+            JoinWorkloadSpec(r_rows=1 << 15, s_rows=1 << 16,
+                             r_payload_columns=1, s_payload_columns=1, seed=0)
+        )
+        npj = NonPartitionedHashJoin(setup.config).join(r, s, device=setup.device)
+        phj = PartitionedHashJoin(setup.config).join(r, s, device=setup.device)
+        assert npj.total_seconds > phj.total_seconds
+
+    def test_handles_duplicate_build_keys(self, setup):
+        rng = np.random.default_rng(0)
+        from repro.relational import Relation
+
+        keys = rng.integers(0, 100, 500).astype(np.int32)
+        r = Relation.from_key_payloads(keys, [keys * 2], payload_prefix="r")
+        s = Relation.from_key_payloads(
+            rng.integers(0, 100, 700).astype(np.int32),
+            [np.arange(700, dtype=np.int32)], payload_prefix="s",
+        )
+        result = NonPartitionedHashJoin().join(r, s, seed=0)
+        assert result.output.equals_unordered(reference_join(r, s))
+
+
+class TestCPUBaseline:
+    def test_defaults_to_cpu_device(self, relations):
+        r, s = relations
+        result = CPURadixJoin().join(r, s, seed=0)
+        assert result.device.kind == "cpu"
+        assert result.algorithm == "CPU"
+
+    def test_respects_explicit_device(self, relations):
+        r, s = relations
+        custom = scaled_device(CPU_SERVER, 0.5)
+        result = CPURadixJoin().join(r, s, device=custom, seed=0)
+        assert result.device is custom
+
+    def test_correct_output(self, relations):
+        r, s = relations
+        result = CPURadixJoin().join(r, s, seed=0)
+        assert result.output.equals_unordered(reference_join(r, s))
+
+    def test_slower_than_gpu_at_scale(self, setup):
+        r, s = generate_join_workload(
+            JoinWorkloadSpec(r_rows=1 << 15, s_rows=1 << 16,
+                             r_payload_columns=1, s_payload_columns=1, seed=0)
+        )
+        gpu = PartitionedHashJoin(setup.config).join(r, s, device=setup.device)
+        cpu = CPURadixJoin(setup.config).join(r, s, device=setup.cpu_device)
+        assert cpu.total_seconds > 5 * gpu.total_seconds

@@ -1,0 +1,151 @@
+"""Phase structure, GFTR clusteredness, memory accounting, leaks."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import GPUContext
+from repro.joins import (
+    ALGORITHMS,
+    NonPartitionedHashJoin,
+    PartitionedHashJoin,
+    PartitionedHashJoinUM,
+    SortMergeJoinOM,
+    SortMergeJoinUM,
+)
+from repro.workloads import JoinWorkloadSpec, generate_join_workload
+
+WIDE = JoinWorkloadSpec(
+    r_rows=4096, s_rows=8192, r_payload_columns=2, s_payload_columns=2, seed=1
+)
+NARROW = JoinWorkloadSpec(
+    r_rows=4096, s_rows=8192, r_payload_columns=1, s_payload_columns=1, seed=1
+)
+
+
+@pytest.fixture(scope="module")
+def wide_relations():
+    return generate_join_workload(WIDE)
+
+
+@pytest.fixture(scope="module")
+def narrow_relations():
+    return generate_join_workload(NARROW)
+
+
+class TestPhaseStructure:
+    @pytest.mark.parametrize("cls", list(ALGORITHMS.values()), ids=lambda c: c.name)
+    def test_wide_join_has_three_phases(self, cls, wide_relations, setup):
+        r, s = wide_relations
+        result = cls(setup.config).join(r, s, device=setup.device, seed=0)
+        assert set(result.phase_seconds) == {"transform", "match", "materialize"}
+        assert all(v >= 0 for v in result.phase_seconds.values())
+
+    @pytest.mark.parametrize("cls", list(ALGORITHMS.values()), ids=lambda c: c.name)
+    def test_narrow_join_has_two_phases(self, cls, narrow_relations, setup):
+        """Section 2.2: narrow joins have no materialization phase."""
+        r, s = narrow_relations
+        result = cls(setup.config).join(r, s, device=setup.device, seed=0)
+        assert set(result.phase_seconds) == {"transform", "match"}
+
+    def test_npj_has_no_transform(self, wide_relations, setup):
+        r, s = wide_relations
+        result = NonPartitionedHashJoin(setup.config).join(r, s, device=setup.device)
+        assert "transform" not in result.phase_seconds
+
+    def test_narrow_smj_variants_identical(self, narrow_relations, setup):
+        r, s = narrow_relations
+        um = SortMergeJoinUM(setup.config).join(r, s, device=setup.device, seed=0)
+        om = SortMergeJoinOM(setup.config).join(r, s, device=setup.device, seed=0)
+        assert um.total_seconds == pytest.approx(om.total_seconds)
+
+
+class TestClusteredness:
+    """GFTR's defining property: OM materialization touches fewer sectors."""
+
+    def _materialize_sectors(self, cls, r, s, setup):
+        ctx = GPUContext(device=setup.device, seed=0)
+        cls(setup.config).join(r, s, ctx=ctx)
+        gathers = [
+            rec.stats
+            for rec in ctx.timeline.records("materialize")
+            if rec.stats.name.startswith("gather")
+        ]
+        return sum(g.random_sector_touches for g in gathers), gathers
+
+    def test_smj_om_fewer_sector_touches(self, wide_relations, setup):
+        r, s = wide_relations
+        um, _ = self._materialize_sectors(SortMergeJoinUM, r, s, setup)
+        om, _ = self._materialize_sectors(SortMergeJoinOM, r, s, setup)
+        assert om < um / 2
+
+    def test_phj_om_fewer_sector_touches(self, wide_relations, setup):
+        r, s = wide_relations
+        um, _ = self._materialize_sectors(PartitionedHashJoinUM, r, s, setup)
+        om, _ = self._materialize_sectors(PartitionedHashJoin, r, s, setup)
+        assert om < um / 2
+
+    def test_om_gathers_are_nearly_sorted_maps(self, wide_relations, setup):
+        r, s = wide_relations
+        _, gathers = self._materialize_sectors(SortMergeJoinOM, r, s, setup)
+        for stats in gathers:
+            assert stats.sectors_per_request < 8
+
+
+class TestMemoryAccounting:
+    def test_no_leaked_device_arrays(self, wide_relations, setup):
+        r, s = wide_relations
+        for cls in list(ALGORITHMS.values()) + [NonPartitionedHashJoin]:
+            ctx = GPUContext(device=setup.device, seed=0)
+            cls(setup.config).join(r, s, ctx=ctx)
+            ctx.mem.assert_no_leaks()
+            assert ctx.mem.current_bytes == 0
+
+    def test_phase_peaks_recorded(self, wide_relations, setup):
+        r, s = wide_relations
+        result = PartitionedHashJoin(setup.config).join(r, s, device=setup.device)
+        assert set(result.phase_aux_peaks) >= {"transform", "match"}
+
+    def test_om_peak_not_above_um_uniform_types(self, wide_relations, setup):
+        """Table 5's ordering for the all-4-byte combination."""
+        r, s = wide_relations
+        um = PartitionedHashJoinUM(setup.config).join(r, s, device=setup.device, seed=0)
+        om = PartitionedHashJoin(setup.config).join(r, s, device=setup.device, seed=0)
+        assert om.peak_total_bytes <= um.peak_total_bytes
+
+    def test_fragmentation_charged_to_bucket_chain(self, wide_relations, setup):
+        r, s = wide_relations
+        ctx = GPUContext(device=setup.device, seed=0)
+        PartitionedHashJoinUM(setup.config).join(r, s, ctx=ctx)
+        # Peak must exceed the radix variant's peak (fragmentation + IDs).
+        ctx2 = GPUContext(device=setup.device, seed=0)
+        PartitionedHashJoin(setup.config).join(r, s, ctx=ctx2)
+        assert ctx.mem.peak_bytes > ctx2.mem.peak_bytes
+
+    def test_input_output_bytes_reported(self, wide_relations, setup):
+        r, s = wide_relations
+        result = PartitionedHashJoin(setup.config).join(r, s, device=setup.device)
+        assert result.input_bytes == r.total_bytes + s.total_bytes
+        assert result.output_bytes == result.output.total_bytes
+        assert result.peak_total_bytes == (
+            result.input_bytes + result.output_bytes + result.peak_aux_bytes
+        )
+
+
+class TestResultMetrics:
+    def test_throughput_definition(self, wide_relations, setup):
+        r, s = wide_relations
+        result = PartitionedHashJoin(setup.config).join(r, s, device=setup.device)
+        expected = (r.num_rows + s.num_rows) / result.total_seconds
+        assert result.throughput_tuples_per_s == pytest.approx(expected)
+
+    def test_phase_fraction_sums_to_one(self, wide_relations, setup):
+        r, s = wide_relations
+        result = SortMergeJoinUM(setup.config).join(r, s, device=setup.device)
+        total = sum(result.phase_fraction(p) for p in result.phase_seconds)
+        assert total == pytest.approx(1.0)
+
+    def test_describe_mentions_algorithm(self, wide_relations, setup):
+        r, s = wide_relations
+        result = SortMergeJoinOM(setup.config).join(r, s, device=setup.device)
+        assert "SMJ-OM" in result.describe()
+        assert "gftr" in result.describe()

@@ -1,0 +1,102 @@
+"""Join pipelines (sequences of joins, Figure 16)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import JoinConfigError
+from repro.joins import JoinPipeline, PartitionedHashJoin, SortMergeJoinUM
+from repro.relational import reference_join
+from repro.workloads import generate_star_schema
+
+
+@pytest.fixture(scope="module")
+def star():
+    return generate_star_schema(fact_rows=2000, dim_rows=500, num_dimensions=3, seed=0)
+
+
+def _reference_pipeline(fact, fk_names, dims):
+    """Compose reference joins the same way the pipeline does."""
+    import numpy as np
+
+    ids = np.arange(fact.num_rows, dtype=np.int64)
+    working_key = fact.column(fk_names[0])
+    carried = {"__id": ids}
+    for i, (fk, dim) in enumerate(zip(fk_names, dims)):
+        if i > 0:
+            working_key = fact.column(fk)[carried["__id"]]
+        order = np.argsort(dim.key_values, kind="stable")
+        sorted_keys = dim.key_values[order]
+        pos = np.searchsorted(sorted_keys, working_key)
+        pos_clipped = np.minimum(pos, sorted_keys.size - 1)
+        matched = sorted_keys[pos_clipped] == working_key
+        dim_rows = order[pos_clipped[matched]]
+        carried = {name: arr[matched] for name, arr in carried.items()}
+        working_key = working_key[matched]
+        carried[dim.payload_names[0]] = dim.column(dim.payload_names[0])[dim_rows]
+    return working_key, carried
+
+
+class TestPipelineCorrectness:
+    def test_final_row_count_full_match(self, star):
+        fact, fk_names, dims = star
+        pipeline = JoinPipeline(PartitionedHashJoin())
+        result = pipeline.run(fact, fk_names, dims, seed=0)
+        # 100% match ratio: every fact row survives every join.
+        assert result.output.num_rows == fact.num_rows
+
+    def test_payloads_accumulate(self, star):
+        fact, fk_names, dims = star
+        result = JoinPipeline(PartitionedHashJoin()).run(fact, fk_names, dims, seed=0)
+        for i in range(len(dims)):
+            assert f"P{i + 1}" in result.output
+
+    def test_matches_reference_composition(self, star):
+        fact, fk_names, dims = star
+        result = JoinPipeline(SortMergeJoinUM()).run(fact, fk_names, dims, seed=0)
+        ref_key, ref_carried = _reference_pipeline(fact, fk_names, dims)
+        assert result.output.num_rows == ref_key.size
+        for name in ("P1", "P2", "P3"):
+            assert sorted(result.output.column(name)) == sorted(ref_carried[name])
+
+    def test_algorithms_agree(self, star):
+        fact, fk_names, dims = star
+        a = JoinPipeline(PartitionedHashJoin()).run(fact, fk_names, dims, seed=0)
+        b = JoinPipeline(SortMergeJoinUM()).run(fact, fk_names, dims, seed=0)
+        assert a.output.equals_unordered(b.output)
+
+
+class TestPipelineAccounting:
+    def test_per_join_results_recorded(self, star):
+        fact, fk_names, dims = star
+        result = JoinPipeline(PartitionedHashJoin()).run(fact, fk_names, dims, seed=0)
+        assert len(result.join_results) == 3
+        assert result.glue_seconds > 0
+        assert result.total_seconds > sum(0 for _ in result.join_results)
+
+    def test_throughput_uses_all_input_tuples(self, star):
+        fact, fk_names, dims = star
+        result = JoinPipeline(PartitionedHashJoin()).run(fact, fk_names, dims, seed=0)
+        tuples = fact.num_rows + sum(d.num_rows for d in dims)
+        assert result.throughput_tuples_per_s == pytest.approx(
+            tuples / result.total_seconds
+        )
+
+    def test_longer_sequences_cost_more(self):
+        fact, fk_names, dims = generate_star_schema(2000, 500, 4, seed=1)
+        short = JoinPipeline(PartitionedHashJoin()).run(
+            fact, fk_names[:2], dims[:2], seed=0
+        )
+        long = JoinPipeline(PartitionedHashJoin()).run(fact, fk_names, dims, seed=0)
+        assert long.total_seconds > short.total_seconds
+
+
+class TestPipelineValidation:
+    def test_mismatched_lengths(self, star):
+        fact, fk_names, dims = star
+        with pytest.raises(JoinConfigError, match="foreign keys"):
+            JoinPipeline(PartitionedHashJoin()).run(fact, fk_names[:2], dims, seed=0)
+
+    def test_empty_pipeline(self, star):
+        fact, _, _ = star
+        with pytest.raises(JoinConfigError, match="at least one"):
+            JoinPipeline(PartitionedHashJoin()).run(fact, [], [], seed=0)

@@ -1,0 +1,117 @@
+"""Figure 18 decision trees."""
+
+import pytest
+
+from repro.joins import (
+    JoinWorkloadProfile,
+    make_algorithm,
+    planner_choice,
+    recommend_join_algorithm,
+    recommend_smj_variant,
+)
+from repro.workloads import JoinWorkloadSpec, generate_join_workload
+
+
+def _profile(**kw):
+    defaults = dict(
+        r_rows=1 << 20, s_rows=1 << 21,
+        r_payload_columns=2, s_payload_columns=2,
+        key_bytes=4, payload_bytes=4, match_ratio=1.0, zipf_factor=0.0,
+    )
+    defaults.update(kw)
+    return JoinWorkloadProfile(**defaults)
+
+
+class TestJoinTree:
+    def test_narrow_uniform_picks_phj_um(self):
+        rec = recommend_join_algorithm(
+            _profile(r_payload_columns=1, s_payload_columns=1)
+        )
+        assert rec.algorithm == "PHJ-UM"
+
+    def test_narrow_skewed_picks_phj_om(self):
+        rec = recommend_join_algorithm(
+            _profile(r_payload_columns=1, s_payload_columns=1, zipf_factor=1.5)
+        )
+        assert rec.algorithm == "PHJ-OM"
+
+    def test_low_match_uniform_picks_phj_um(self):
+        rec = recommend_join_algorithm(_profile(match_ratio=0.1))
+        assert rec.algorithm == "PHJ-UM"
+
+    def test_low_match_skewed_picks_smj_um(self):
+        rec = recommend_join_algorithm(_profile(match_ratio=0.1, zipf_factor=1.5))
+        assert rec.algorithm == "SMJ-UM"
+
+    def test_wide_high_match_picks_phj_om(self):
+        rec = recommend_join_algorithm(_profile())
+        assert rec.algorithm == "PHJ-OM"
+
+    def test_wide_types_still_phj_om(self):
+        rec = recommend_join_algorithm(_profile(key_bytes=8, payload_bytes=8))
+        assert rec.algorithm == "PHJ-OM"
+
+    def test_reasons_are_explanatory(self):
+        rec = recommend_join_algorithm(_profile())
+        assert rec.reasons
+        assert "materialization" in rec.explain()
+
+
+class TestSMJTree:
+    def test_narrow_is_um(self):
+        rec = recommend_smj_variant(
+            _profile(r_payload_columns=1, s_payload_columns=1)
+        )
+        assert rec.algorithm == "SMJ-UM"
+
+    def test_wide_4byte_high_match_is_om(self):
+        assert recommend_smj_variant(_profile()).algorithm == "SMJ-OM"
+
+    def test_8byte_values_is_um(self):
+        assert recommend_smj_variant(_profile(payload_bytes=8)).algorithm == "SMJ-UM"
+
+    def test_low_match_is_um(self):
+        assert recommend_smj_variant(_profile(match_ratio=0.05)).algorithm == "SMJ-UM"
+
+    def test_skewed_is_um(self):
+        assert recommend_smj_variant(_profile(zipf_factor=1.6)).algorithm == "SMJ-UM"
+
+
+class TestProfileFromRelations:
+    def test_reads_shapes(self):
+        r, s = generate_join_workload(
+            JoinWorkloadSpec(r_rows=100, s_rows=200, r_payload_columns=3,
+                             s_payload_columns=1, payload_type="int64", seed=0)
+        )
+        profile = JoinWorkloadProfile.from_relations(r, s)
+        assert profile.r_rows == 100
+        assert profile.s_rows == 200
+        assert profile.r_payload_columns == 3
+        assert profile.payload_bytes == 8
+        assert not profile.is_narrow
+
+    def test_narrow_detection(self):
+        r, s = generate_join_workload(
+            JoinWorkloadSpec(r_rows=10, s_rows=10, r_payload_columns=1,
+                             s_payload_columns=1, seed=0)
+        )
+        assert JoinWorkloadProfile.from_relations(r, s).is_narrow
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name", ["SMJ-UM", "SMJ-OM", "PHJ-UM", "PHJ-OM", "PHJ-OM/gfur", "NPJ", "CPU"]
+    )
+    def test_make_algorithm_names(self, name):
+        algo = make_algorithm(name)
+        assert algo.name in (name, name.split("/")[0], "CPU")
+
+    def test_planner_choice_runs(self):
+        r, s = generate_join_workload(
+            JoinWorkloadSpec(r_rows=500, s_rows=900, r_payload_columns=2,
+                             s_payload_columns=2, seed=0)
+        )
+        algo, rec = planner_choice(r, s)
+        assert algo.name == rec.algorithm
+        result = algo.join(r, s, seed=0)
+        assert result.matches == 900

@@ -1,0 +1,124 @@
+"""Linear-probing hash table: real inserts, probes, duplicates, touches."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.primitives.hash_table import (
+    EMPTY,
+    build_table,
+    probe_table,
+    table_capacity,
+)
+
+
+class TestCapacity:
+    def test_power_of_two_and_load_factor(self):
+        assert table_capacity(100, 0.5) >= 200
+        cap = table_capacity(100)
+        assert cap & (cap - 1) == 0
+
+    def test_minimum(self):
+        assert table_capacity(0) == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            table_capacity(-1)
+
+
+class TestBuild:
+    def test_all_keys_inserted(self):
+        keys = np.arange(100, dtype=np.int64)
+        result = build_table(keys, keys * 2, table_capacity(100))
+        occupied = result.table_keys != EMPTY
+        assert occupied.sum() == 100
+        # values co-located with their keys
+        assert np.array_equal(
+            result.table_values[occupied], result.table_keys[occupied] * 2
+        )
+
+    def test_duplicates_get_separate_slots(self):
+        keys = np.array([7, 7, 7], dtype=np.int64)
+        result = build_table(keys, np.arange(3, dtype=np.int64), 8)
+        assert (result.table_keys == 7).sum() == 3
+
+    def test_touched_slots_at_least_one_per_insert(self):
+        keys = np.arange(64, dtype=np.int64)
+        result = build_table(keys, keys, 128)
+        assert result.touched_slots.size >= 64
+
+    def test_collisions_increase_touches(self):
+        # Full-ish table forces probing chains.
+        keys = np.arange(96, dtype=np.int64)
+        loose = build_table(keys, keys, 1024)
+        tight = build_table(keys, keys, 128)
+        assert tight.touched_slots.size >= loose.touched_slots.size
+
+    def test_overfull_rejected(self):
+        with pytest.raises(ReproError, match="insert"):
+            build_table(np.arange(10, dtype=np.int64), np.arange(10), 8)
+
+    def test_negative_keys_rejected(self):
+        with pytest.raises(ReproError, match="non-negative"):
+            build_table(np.array([-1], dtype=np.int64), np.array([0]), 8)
+
+
+class TestProbe:
+    def test_finds_matches(self):
+        keys = np.array([1, 5, 9], dtype=np.int64)
+        built = build_table(keys, np.array([10, 50, 90], dtype=np.int64), 8)
+        probe = probe_table(built.table_keys, built.table_values,
+                            np.array([5, 2, 9], dtype=np.int64))
+        assert list(probe.probe_indices) == [0, 2]
+        assert list(probe.build_values) == [50, 90]
+
+    def test_finds_all_duplicates(self):
+        keys = np.array([4, 4, 8], dtype=np.int64)
+        built = build_table(keys, np.array([0, 1, 2], dtype=np.int64), 16)
+        probe = probe_table(built.table_keys, built.table_values,
+                            np.array([4], dtype=np.int64))
+        assert list(probe.probe_indices) == [0, 0]
+        assert sorted(probe.build_values) == [0, 1]
+
+    def test_probe_major_order(self):
+        keys = np.arange(50, dtype=np.int64)
+        built = build_table(keys, keys, 128)
+        probe_keys = np.array([30, 10, 20, 10], dtype=np.int64)
+        probe = probe_table(built.table_keys, built.table_values, probe_keys)
+        assert list(probe.probe_indices) == [0, 1, 2, 3]
+
+    def test_no_matches(self):
+        built = build_table(np.array([1], dtype=np.int64), np.array([0]), 8)
+        probe = probe_table(built.table_keys, built.table_values,
+                            np.array([99], dtype=np.int64))
+        assert probe.probe_indices.size == 0
+
+    def test_empty_probe(self):
+        built = build_table(np.array([1], dtype=np.int64), np.array([0]), 8)
+        probe = probe_table(built.table_keys, built.table_values,
+                            np.empty(0, dtype=np.int64))
+        assert probe.probe_indices.size == 0
+        assert probe.rounds == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    build=st.lists(st.integers(0, 200), min_size=1, max_size=120),
+    probe=st.lists(st.integers(0, 250), max_size=120),
+)
+def test_probe_matches_reference_semantics(build, probe):
+    build_arr = np.asarray(build, dtype=np.int64)
+    probe_arr = np.asarray(probe, dtype=np.int64)
+    built = build_table(build_arr, np.arange(build_arr.size, dtype=np.int64),
+                        table_capacity(build_arr.size))
+    result = probe_table(built.table_keys, built.table_values, probe_arr)
+    pairs = set(zip(result.probe_indices.tolist(), result.build_values.tolist()))
+    expected = {
+        (si, bi)
+        for si, sk in enumerate(probe)
+        for bi, bk in enumerate(build)
+        if sk == bk
+    }
+    assert pairs == expected

@@ -1,0 +1,73 @@
+"""Hash functions: determinism, ranges, digit extraction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.primitives.hashing import (
+    hash_to_slots,
+    mix_hash,
+    multiplicative_hash,
+    radix_digit,
+)
+
+
+class TestHashes:
+    def test_multiplicative_deterministic(self):
+        keys = np.arange(100, dtype=np.int64)
+        assert np.array_equal(multiplicative_hash(keys), multiplicative_hash(keys))
+
+    def test_mix_hash_spreads_dense_keys(self):
+        keys = np.arange(1 << 12, dtype=np.int64)
+        low_bits = mix_hash(keys) & np.uint64(0xFF)
+        counts = np.bincount(low_bits.astype(np.int64), minlength=256)
+        # A good mixer spreads dense keys: no bucket > 3x the mean.
+        assert counts.max() < 3 * counts.mean()
+
+    def test_mix_hash_distinct_for_distinct_keys(self):
+        keys = np.arange(1 << 14, dtype=np.int64)
+        assert np.unique(mix_hash(keys)).size == keys.size
+
+
+class TestSlots:
+    def test_slots_in_range(self):
+        keys = np.arange(10000, dtype=np.int64)
+        slots = hash_to_slots(keys, 1024)
+        assert slots.min() >= 0
+        assert slots.max() < 1024
+
+    def test_slots_balanced_for_dense_keys(self):
+        keys = np.arange(1 << 14, dtype=np.int64)
+        slots = hash_to_slots(keys, 256)
+        counts = np.bincount(slots, minlength=256)
+        assert counts.max() < 4 * counts.mean()
+
+    @pytest.mark.parametrize("bad", [0, -8, 100, 3])
+    def test_non_power_of_two_rejected(self, bad):
+        with pytest.raises(ValueError):
+            hash_to_slots(np.arange(4), bad)
+
+
+class TestRadixDigit:
+    def test_low_bits(self):
+        keys = np.array([0b1011, 0b0100], dtype=np.int64)
+        assert list(radix_digit(keys, 0, 2)) == [0b11, 0b00]
+
+    def test_high_bits(self):
+        keys = np.array([0b101100, 0b010011], dtype=np.int64)
+        assert list(radix_digit(keys, 4, 2)) == [0b10, 0b01]
+
+    def test_zero_bits_rejected(self):
+        with pytest.raises(ValueError):
+            radix_digit(np.arange(4), 0, 0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        key=st.integers(0, 2 ** 62),
+        start=st.integers(0, 48),
+        width=st.integers(1, 8),
+    )
+    def test_digit_matches_python_bit_arithmetic(self, key, start, width):
+        digit = radix_digit(np.array([key], dtype=np.int64), start, width)[0]
+        assert digit == (key >> start) & ((1 << width) - 1)

@@ -1,0 +1,52 @@
+"""Histogram and exclusive scan primitives."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import A100, GPUContext
+from repro.primitives.histogram import exclusive_scan, histogram
+
+
+@pytest.fixture
+def ctx():
+    return GPUContext(device=A100)
+
+
+class TestHistogram:
+    def test_counts(self, ctx):
+        codes = np.array([0, 2, 2, 1, 2], dtype=np.int64)
+        counts = histogram(ctx, codes, 4)
+        assert list(counts) == [1, 1, 3, 0]
+
+    def test_empty(self, ctx):
+        counts = histogram(ctx, np.empty(0, dtype=np.int64), 3)
+        assert list(counts) == [0, 0, 0]
+
+    def test_out_of_range_rejected(self, ctx):
+        with pytest.raises(ValueError, match="num_bins"):
+            histogram(ctx, np.array([5], dtype=np.int64), 3)
+
+    def test_charges_one_stream(self, ctx):
+        codes = np.zeros(1 << 12, dtype=np.int64)
+        histogram(ctx, codes, 16)
+        stats = ctx.timeline.records()[-1].stats
+        assert stats.seq_read_bytes == codes.nbytes
+
+
+class TestExclusiveScan:
+    def test_offsets(self, ctx):
+        out = exclusive_scan(ctx, np.array([3, 1, 4], dtype=np.int64))
+        assert list(out) == [0, 3, 4]
+
+    def test_empty(self, ctx):
+        assert exclusive_scan(ctx, np.empty(0, dtype=np.int64)).size == 0
+
+    def test_single(self, ctx):
+        assert list(exclusive_scan(ctx, np.array([9], dtype=np.int64))) == [0]
+
+    def test_histogram_scan_roundtrip(self, ctx):
+        rng = np.random.default_rng(0)
+        codes = rng.integers(0, 32, 1000)
+        counts = histogram(ctx, codes, 32)
+        offsets = exclusive_scan(ctx, counts)
+        assert offsets[-1] + counts[-1] == 1000

@@ -1,0 +1,68 @@
+"""Merge Path bounds and the single-pass PK-FK optimization."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import A100, GPUContext
+from repro.primitives.merge_path import lower_bounds, match_bounds, upper_bounds
+
+
+@pytest.fixture
+def ctx():
+    return GPUContext(device=A100)
+
+
+class TestBounds:
+    def test_lower_bounds(self, ctx):
+        r = np.array([1, 3, 5], dtype=np.int32)
+        s = np.array([0, 3, 6], dtype=np.int32)
+        assert list(lower_bounds(ctx, r, s)) == [0, 1, 3]
+
+    def test_upper_bounds(self, ctx):
+        r = np.array([1, 3, 3, 5], dtype=np.int32)
+        s = np.array([3, 5], dtype=np.int32)
+        assert list(upper_bounds(ctx, r, s)) == [3, 4]
+
+    def test_match_bounds_unique_single_pass(self, ctx):
+        r = np.array([1, 3, 5], dtype=np.int32)
+        s = np.array([3, 4, 5], dtype=np.int32)
+        lo, hi = match_bounds(ctx, r, s, unique_build_keys=True)
+        counts = hi - lo
+        assert list(counts) == [1, 0, 1]
+        assert ctx.timeline.kernel_count() == 1  # one Merge Path pass
+
+    def test_match_bounds_duplicates_two_passes(self, ctx):
+        r = np.array([2, 2, 2, 7], dtype=np.int32)
+        s = np.array([2, 7, 9], dtype=np.int32)
+        lo, hi = match_bounds(ctx, r, s, unique_build_keys=False)
+        assert list(hi - lo) == [3, 1, 0]
+        assert ctx.timeline.kernel_count() == 2  # lower + upper
+
+    def test_empty_build_side(self, ctx):
+        lo, hi = match_bounds(
+            ctx, np.empty(0, dtype=np.int32), np.array([1, 2], dtype=np.int32),
+            unique_build_keys=True,
+        )
+        assert list(hi - lo) == [0, 0]
+
+    def test_empty_probe_side(self, ctx):
+        lo, hi = match_bounds(
+            ctx, np.array([1], dtype=np.int32), np.empty(0, dtype=np.int32),
+            unique_build_keys=True,
+        )
+        assert lo.size == 0 and hi.size == 0
+
+    def test_merge_pass_streams_both_inputs(self, ctx):
+        r = np.arange(1000, dtype=np.int32)
+        s = np.arange(2000, dtype=np.int32)
+        lower_bounds(ctx, r, s)
+        stats = ctx.timeline.records()[-1].stats
+        assert stats.seq_read_bytes == r.nbytes + s.nbytes
+
+    def test_unique_bounds_match_nonunique_on_unique_data(self, ctx):
+        rng = np.random.default_rng(0)
+        r = np.unique(rng.integers(0, 10000, 500)).astype(np.int32)
+        s = np.sort(rng.integers(0, 10000, 800)).astype(np.int32)
+        lo1, hi1 = match_bounds(ctx, r, s, unique_build_keys=True)
+        lo2, hi2 = match_bounds(ctx, r, s, unique_build_keys=False)
+        assert np.array_equal(hi1 - lo1, hi2 - lo2)

@@ -1,0 +1,125 @@
+"""Exact sector analysis: crafted patterns and property-based invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim.device import SECTOR_BYTES, WARP_SIZE
+from repro.primitives.sector_analysis import analyze_indices, sequential_stats
+
+
+class TestCraftedPatterns:
+    def test_empty(self):
+        stats = analyze_indices(np.empty(0, dtype=np.int64), 4)
+        assert stats.requests == 0
+        assert stats.sector_touches == 0
+        assert stats.cold_sectors == 0
+
+    def test_sequential_4byte_is_eight_per_warp(self):
+        # 32 consecutive 4-byte elements span 128 bytes = 4 sectors.
+        idx = np.arange(WARP_SIZE, dtype=np.int64)
+        stats = analyze_indices(idx, 4)
+        assert stats.requests == 1
+        assert stats.sector_touches == 4
+        assert stats.cold_sectors == 4
+        assert stats.mean_warp_span_bytes == WARP_SIZE * 4
+
+    def test_sequential_8byte_is_eight_sectors(self):
+        idx = np.arange(WARP_SIZE, dtype=np.int64)
+        stats = analyze_indices(idx, 8)
+        assert stats.sector_touches == 8
+
+    def test_fully_scattered_touches_32(self):
+        # Elements one sector apart: every lane its own sector.
+        idx = np.arange(WARP_SIZE, dtype=np.int64) * (SECTOR_BYTES // 4)
+        stats = analyze_indices(idx, 4)
+        assert stats.sector_touches == WARP_SIZE
+
+    def test_same_element_repeated_is_one_sector(self):
+        idx = np.zeros(WARP_SIZE, dtype=np.int64)
+        stats = analyze_indices(idx, 4)
+        assert stats.sector_touches == 1
+        assert stats.cold_sectors == 1
+        assert stats.mean_warp_span_bytes == 4
+
+    def test_partial_warp_padded_without_extra_sectors(self):
+        idx = np.array([0, 1, 2], dtype=np.int64)
+        stats = analyze_indices(idx, 4)
+        assert stats.requests == 1
+        assert stats.sector_touches == 1  # 12 bytes within one sector
+
+    def test_cold_counts_distinct_sectors_globally(self):
+        # Two warps touching the same sector: 2 touches, 1 cold.
+        idx = np.zeros(2 * WARP_SIZE, dtype=np.int64)
+        stats = analyze_indices(idx, 4)
+        assert stats.requests == 2
+        assert stats.sector_touches == 2
+        assert stats.cold_sectors == 1
+
+    def test_random_permutation_near_32_per_warp(self):
+        rng = np.random.default_rng(0)
+        n = 1 << 16
+        idx = rng.permutation(n).astype(np.int64)
+        stats = analyze_indices(idx, 4)
+        assert stats.sectors_per_request > 28  # nearly one sector per lane
+
+    def test_sorted_map_low_sectors(self):
+        # Dense sorted map: a warp's 32 indices span ~32 elements.
+        rng = np.random.default_rng(0)
+        idx = np.sort(rng.integers(0, 1 << 14, 1 << 14))
+        stats = analyze_indices(idx, 4)
+        assert stats.sectors_per_request < 8
+        # Sparse sorted map: spans grow but stay far below fully random.
+        sparse = np.sort(rng.integers(0, 1 << 16, 1 << 14))
+        sparse_stats = analyze_indices(sparse, 4)
+        assert sparse_stats.sectors_per_request < 24
+
+    def test_unsupported_element_size(self):
+        with pytest.raises(ValueError):
+            analyze_indices(np.arange(4), 64)
+        with pytest.raises(ValueError):
+            analyze_indices(np.arange(4), 0)
+
+
+class TestSequentialStats:
+    def test_matches_analyze_for_arange(self):
+        n = 1 << 12
+        analytical = sequential_stats(n, 4)
+        measured = analyze_indices(np.arange(n, dtype=np.int64), 4)
+        assert analytical.requests == measured.requests
+        assert analytical.sector_touches == measured.sector_touches
+        assert analytical.cold_sectors == measured.cold_sectors
+
+    def test_empty(self):
+        assert sequential_stats(0, 4).requests == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    indices=st.lists(st.integers(0, 10 ** 6), min_size=1, max_size=300),
+    element_bytes=st.sampled_from([4, 8]),
+)
+def test_invariants(indices, element_bytes):
+    idx = np.asarray(indices, dtype=np.int64)
+    stats = analyze_indices(idx, element_bytes)
+    warps = -(-idx.size // WARP_SIZE)
+    assert stats.requests == warps
+    # Each warp touches between 1 and WARP_SIZE sectors.
+    assert warps <= stats.sector_touches <= warps * WARP_SIZE
+    # Cold sectors bounded by touches and by the distinct index count.
+    assert stats.cold_sectors <= stats.sector_touches
+    assert stats.cold_sectors <= len(set(indices)) * (
+        1 if element_bytes <= SECTOR_BYTES else 2
+    )
+    assert stats.cold_sectors >= 1
+    assert stats.mean_warp_span_bytes >= element_bytes
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(0, 10 ** 5), min_size=33, max_size=200))
+def test_sorting_never_increases_touches(indices):
+    idx = np.asarray(indices, dtype=np.int64)
+    scattered = analyze_indices(idx, 4)
+    clustered = analyze_indices(np.sort(idx), 4)
+    assert clustered.sector_touches <= scattered.sector_touches + len(indices) // WARP_SIZE + 1

@@ -1,0 +1,95 @@
+"""SORT-PAIRS: correctness, stability, pass accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim import A100, GPUContext
+from repro.primitives.sort_pairs import (
+    argsort_cost_only,
+    key_bits_for_dtype,
+    sort_pairs,
+    sort_passes_for_dtype,
+)
+
+
+@pytest.fixture
+def ctx():
+    return GPUContext(device=A100)
+
+
+class TestCorrectness:
+    def test_sorts_keys(self, ctx):
+        keys = np.array([3, 1, 2], dtype=np.int32)
+        out_keys, _ = sort_pairs(ctx, keys, [])
+        assert list(out_keys) == [1, 2, 3]
+
+    def test_payloads_follow_keys(self, ctx):
+        keys = np.array([3, 1, 2], dtype=np.int32)
+        payload = np.array([30, 10, 20], dtype=np.int32)
+        out_keys, (out_payload,) = sort_pairs(ctx, keys, [payload])
+        assert list(out_payload) == [10, 20, 30]
+
+    def test_stability(self, ctx):
+        keys = np.array([1, 0, 1, 0], dtype=np.int32)
+        payload = np.array([100, 200, 101, 201], dtype=np.int32)
+        _, (out_payload,) = sort_pairs(ctx, keys, [payload])
+        assert list(out_payload) == [200, 201, 100, 101]
+
+    def test_multiple_payloads(self, ctx):
+        keys = np.array([2, 1], dtype=np.int32)
+        a = np.array([20, 10], dtype=np.int32)
+        b = np.array([21, 11], dtype=np.int64)
+        _, (out_a, out_b) = sort_pairs(ctx, keys, [a, b])
+        assert list(out_a) == [10, 20]
+        assert list(out_b) == [11, 21]
+
+    def test_empty(self, ctx):
+        out_keys, payloads = sort_pairs(ctx, np.empty(0, dtype=np.int32), [])
+        assert out_keys.size == 0
+        assert payloads == []
+
+
+class TestPassAccounting:
+    def test_int32_keys_four_passes(self, ctx):
+        sort_pairs(ctx, np.arange(100, dtype=np.int32), [])
+        assert ctx.timeline.kernel_count() == 4
+
+    def test_int64_keys_eight_passes(self, ctx):
+        sort_pairs(ctx, np.arange(100, dtype=np.int64), [])
+        assert ctx.timeline.kernel_count() == 8
+
+    def test_custom_key_bits(self, ctx):
+        sort_pairs(ctx, np.arange(100, dtype=np.int32), [], key_bits=10)
+        assert ctx.timeline.kernel_count() == 2
+
+    def test_pass_traffic_includes_payloads(self, ctx):
+        keys = np.arange(1 << 10, dtype=np.int32)
+        payload = keys.astype(np.int64)
+        sort_pairs(ctx, keys, [payload])
+        stats = ctx.timeline.records()[0].stats
+        per_pass = keys.nbytes + payload.nbytes
+        assert stats.seq_read_bytes == keys.nbytes + per_pass
+        assert stats.seq_write_bytes == per_pass
+
+    def test_dtype_helpers(self):
+        assert key_bits_for_dtype(np.dtype(np.int32)) == 32
+        assert sort_passes_for_dtype(np.dtype(np.int32)) == 4
+        assert sort_passes_for_dtype(np.dtype(np.int64)) == 8
+
+    def test_cost_only_matches_real_kernel_count(self, ctx):
+        argsort_cost_only(ctx, 1000, 4, 4)
+        assert ctx.timeline.kernel_count() == 4
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(0, 2 ** 31 - 1), min_size=1, max_size=300))
+def test_matches_numpy_stable_sort(keys):
+    ctx = GPUContext(device=A100)
+    arr = np.asarray(keys, dtype=np.int64)
+    ids = np.arange(arr.size, dtype=np.int64)
+    out_keys, (out_ids,) = sort_pairs(ctx, arr, [ids])
+    expected = np.argsort(arr, kind="stable")
+    assert np.array_equal(out_ids, expected)
+    assert np.array_equal(out_keys, np.sort(arr))

@@ -1,0 +1,143 @@
+"""Query plans: validation, execution, optimization passes."""
+
+import numpy as np
+import pytest
+
+from repro.aggregation import AggSpec
+from repro.errors import JoinConfigError
+from repro.query import Aggregate, Join, Project, Scan, execute, validate_plan
+from repro.relational import reference_groupby, reference_join
+from repro.workloads import JoinWorkloadSpec, generate_join_workload
+
+
+@pytest.fixture(scope="module")
+def relations():
+    return generate_join_workload(
+        JoinWorkloadSpec(r_rows=2048, s_rows=4096, r_payload_columns=3,
+                         s_payload_columns=2, seed=6)
+    )
+
+
+class TestValidation:
+    def test_scan_valid(self, relations):
+        r, _ = relations
+        validate_plan(Scan(r))
+
+    def test_empty_project_rejected(self, relations):
+        r, _ = relations
+        with pytest.raises(JoinConfigError, match="Project"):
+            validate_plan(Project(Scan(r), columns=()))
+
+    def test_aggregate_must_be_root(self, relations):
+        r, s = relations
+        inner = Aggregate(Scan(r), "r1", (AggSpec("r2", "sum"),))
+        with pytest.raises(JoinConfigError, match="root"):
+            validate_plan(Project(inner, columns=("x",)))
+
+    def test_aggregate_needs_specs(self, relations):
+        r, _ = relations
+        with pytest.raises(JoinConfigError, match="AggSpec"):
+            validate_plan(Aggregate(Scan(r), "r1", ()))
+
+
+class TestExecution:
+    def test_scan_returns_relation(self, relations):
+        r, _ = relations
+        result = execute(Scan(r))
+        assert result.output is r
+        assert result.total_seconds == 0.0
+
+    def test_join_matches_reference(self, relations):
+        r, s = relations
+        result = execute(Join(Scan(r), Scan(s)), seed=0)
+        assert result.output.equals_unordered(reference_join(r, s))
+
+    def test_named_join_algorithm(self, relations):
+        r, s = relations
+        result = execute(Join(Scan(r), Scan(s), algorithm="SMJ-UM"), seed=0)
+        assert "SMJ-UM" in result.trace[-1].description
+
+    def test_project_over_scan(self, relations):
+        r, _ = relations
+        result = execute(Project(Scan(r), columns=("r2",)), seed=0)
+        assert result.output.column_names == ["key", "r2"]
+
+    def test_project_missing_column(self, relations):
+        r, _ = relations
+        with pytest.raises(JoinConfigError, match="missing"):
+            execute(Project(Scan(r), columns=("nope",)), seed=0)
+
+    def test_aggregate_over_scan(self, relations):
+        _, s = relations
+        plan = Aggregate(Scan(s), "s1", (AggSpec("s2", "sum"),))
+        result = execute(plan, seed=0)
+        expected = reference_groupby(
+            s.column("s1"), {"s2": s.column("s2")}, {"s2": "sum"}
+        )
+        assert np.array_equal(result.output["sum_s2"], expected["sum_s2"])
+
+    def test_full_pipeline(self, relations):
+        r, s = relations
+        plan = Aggregate(
+            Join(Scan(r), Scan(s)), "r1", (AggSpec("s1", "sum"),)
+        )
+        result = execute(plan, seed=0)
+        joined = reference_join(r, s)
+        expected = reference_groupby(
+            joined.column("r1"), {"s1": joined.column("s1")}, {"s1": "sum"}
+        )
+        assert np.array_equal(result.output["sum_s1"], expected["sum_s1"])
+
+    def test_explain_lists_operators(self, relations):
+        r, s = relations
+        result = execute(Join(Scan(r), Scan(s)), seed=0)
+        text = result.explain()
+        assert "Scan" in text
+        assert "Join" in text
+        assert "total" in text
+
+
+class TestOptimizations:
+    def test_projection_pushed_into_join(self, relations):
+        r, s = relations
+        plan = Project(Join(Scan(r), Scan(s)), columns=("r1", "s1"))
+        optimized = execute(plan, seed=0)
+        literal = execute(plan, seed=0, optimize=False)
+        assert optimized.output.equals_unordered(literal.output)
+        assert optimized.total_seconds < literal.total_seconds
+        assert "pushed" in optimized.trace[-1].description
+
+    def test_aggregate_fused_into_join(self, relations):
+        r, s = relations
+        plan = Aggregate(Join(Scan(r), Scan(s)), "r1", (AggSpec("s1", "sum"),))
+        optimized = execute(plan, seed=0)
+        literal = execute(plan, seed=0, optimize=False)
+        assert np.array_equal(
+            optimized.output["sum_s1"], literal.output["sum_s1"]
+        )
+        assert optimized.total_seconds < literal.total_seconds
+        assert any("Fused" in op.description for op in optimized.trace)
+
+    def test_named_algorithms_survive_fusion(self, relations):
+        r, s = relations
+        plan = Aggregate(
+            Join(Scan(r), Scan(s), algorithm="PHJ-OM"),
+            "r1",
+            (AggSpec("s1", "sum"),),
+            algorithm="PART-AGG",
+        )
+        result = execute(plan, seed=0)
+        fused_op = next(op for op in result.trace if "Fused" in op.description)
+        assert "PHJ-OM" in fused_op.description
+        assert "PART-AGG" in fused_op.description
+
+    def test_join_of_joins(self, relations):
+        """Plans compose: a join whose probe side is itself a join output."""
+        r, s = relations
+        first = Join(Scan(r), Scan(s), algorithm="PHJ-OM")
+        joined = execute(first, seed=0).output
+        # Use the first join's output as a probe side against r again.
+        second = Join(Scan(r.rename({"r1": "q1", "r2": "q2", "r3": "q3"})),
+                      Scan(joined))
+        result = execute(second, seed=0)
+        assert result.output.num_rows == joined.num_rows

@@ -1,0 +1,110 @@
+"""Composite key packing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidRelationError
+from repro.relational import MAX_PACKED_BITS, PackedKeyCodec, pack_columns
+from repro.relational.validation import join_match_indices
+
+
+class TestPackUnpack:
+    def test_roundtrip(self):
+        a = np.array([3, 0, 7], dtype=np.int32)
+        b = np.array([100, 50, 0], dtype=np.int32)
+        packed, codec = pack_columns([a, b])
+        ua, ub = codec.unpack(packed)
+        assert np.array_equal(ua, a)
+        assert np.array_equal(ub, b)
+
+    def test_lexicographic_order_preserved(self):
+        a = np.array([1, 0, 1, 0], dtype=np.int32)
+        b = np.array([0, 9, 5, 2], dtype=np.int32)
+        packed, _ = pack_columns([a, b])
+        np_order = np.lexsort((b, a))
+        packed_order = np.argsort(packed, kind="stable")
+        assert np.array_equal(np_order, packed_order)
+
+    def test_distinct_tuples_distinct_keys(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 100, 1000)
+        b = rng.integers(0, 100, 1000)
+        packed, _ = pack_columns([a, b])
+        tuples = {(int(x), int(y)) for x, y in zip(a, b)}
+        assert np.unique(packed).size == len(tuples)
+
+    def test_single_column(self):
+        packed, codec = pack_columns([np.array([5, 2])])
+        assert codec.bit_widths == (3,)
+        assert list(packed) == [5, 2]
+
+    def test_three_columns(self):
+        cols = [np.array([1]), np.array([2]), np.array([3])]
+        packed, codec = pack_columns(cols)
+        assert [int(c[0]) for c in codec.unpack(packed)] == [1, 2, 3]
+
+
+class TestValidation:
+    def test_negative_rejected(self):
+        with pytest.raises(InvalidRelationError, match="non-negative"):
+            pack_columns([np.array([-1])])
+
+    def test_too_wide_rejected(self):
+        wide = np.array([2 ** 40], dtype=np.int64)
+        with pytest.raises(InvalidRelationError, match="bits"):
+            pack_columns([wide, wide])
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(InvalidRelationError, match="at least one"):
+            pack_columns([])
+
+    def test_codec_column_count_mismatch(self):
+        _, codec = pack_columns([np.array([1]), np.array([2])])
+        with pytest.raises(InvalidRelationError, match="columns"):
+            codec.pack([np.array([1])])
+
+    def test_codec_range_check(self):
+        _, codec = pack_columns([np.array([3])])  # 2 bits
+        with pytest.raises(InvalidRelationError, match="packed"):
+            codec.pack([np.array([4])])
+
+    def test_max_bits_constant(self):
+        assert MAX_PACKED_BITS == 63
+
+
+class TestCompositeJoin:
+    def test_multi_column_equi_join_via_packing(self):
+        """A two-attribute equi-join expressed through packed keys."""
+        rng = np.random.default_rng(1)
+        r_a = rng.integers(0, 20, 200)
+        r_b = rng.integers(0, 20, 200)
+        s_a = rng.integers(0, 20, 300)
+        s_b = rng.integers(0, 20, 300)
+        r_key, codec = pack_columns([r_a, r_b])
+        s_key = codec.pack([s_a, s_b])
+        r_idx, s_idx = join_match_indices(r_key, s_key)
+        expected = {
+            (ri, si)
+            for ri in range(200)
+            for si in range(300)
+            if r_a[ri] == s_a[si] and r_b[ri] == s_b[si]
+        }
+        assert set(zip(r_idx.tolist(), s_idx.tolist())) == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 2 ** 10), st.integers(0, 2 ** 10),
+                  st.integers(0, 2 ** 10)),
+        min_size=1, max_size=50,
+    )
+)
+def test_property_roundtrip(rows):
+    cols = [np.asarray(c, dtype=np.int64) for c in zip(*rows)]
+    packed, codec = pack_columns(cols)
+    unpacked = codec.unpack(packed)
+    for original, recovered in zip(cols, unpacked):
+        assert np.array_equal(original, recovered)

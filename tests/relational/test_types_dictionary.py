@@ -1,0 +1,84 @@
+"""Column types and dictionary encoding."""
+
+import numpy as np
+import pytest
+
+from repro.relational import INT32, INT64, DictionaryEncoder, column_type
+from repro.relational.types import id_dtype
+
+
+class TestTypes:
+    def test_itemsizes(self):
+        assert INT32.itemsize == 4
+        assert INT64.itemsize == 8
+
+    def test_coerce_from_name(self):
+        assert column_type("int32") is INT32
+        assert column_type("int64") is INT64
+
+    def test_coerce_from_dtype(self):
+        assert column_type(np.dtype(np.int32)) is INT32
+
+    def test_coerce_passthrough(self):
+        assert column_type(INT64) is INT64
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="int32"):
+            column_type("float16")
+
+    def test_unsupported_dtype(self):
+        with pytest.raises(KeyError, match="supported"):
+            column_type(np.dtype(np.float32))
+
+    def test_str(self):
+        assert str(INT32) == "int32"
+
+    def test_id_dtype(self):
+        assert id_dtype(100) == np.dtype(np.int32)
+        assert id_dtype(2 ** 40) == np.dtype(np.int64)
+
+
+class TestDictionaryEncoder:
+    def test_roundtrip(self):
+        enc = DictionaryEncoder()
+        codes = enc.encode(["air", "rail", "air", "ship"])
+        assert list(codes) == [0, 1, 0, 2]
+        assert enc.decode(codes) == ["air", "rail", "air", "ship"]
+
+    def test_deterministic_first_seen_order(self):
+        enc = DictionaryEncoder()
+        enc.encode(["b", "a"])
+        assert enc.lookup("b") == 0
+        assert enc.lookup("a") == 1
+
+    def test_cardinality(self):
+        enc = DictionaryEncoder()
+        enc.encode(["x", "y", "x"])
+        assert enc.cardinality == 2
+
+    def test_code_dtype(self):
+        enc32 = DictionaryEncoder(INT32)
+        assert enc32.encode(["a"]).dtype == np.int32
+        enc64 = DictionaryEncoder(INT64)
+        assert enc64.encode(["a"]).dtype == np.int64
+
+    def test_invalid_code_type(self):
+        with pytest.raises(ValueError):
+            DictionaryEncoder("int32")
+
+    def test_decode_unknown_code(self):
+        enc = DictionaryEncoder()
+        enc.encode(["a"])
+        with pytest.raises(KeyError):
+            enc.decode([5])
+
+    def test_lookup_unknown_value(self):
+        with pytest.raises(KeyError):
+            DictionaryEncoder().lookup("missing")
+
+    def test_incremental_encoding_is_stable(self):
+        enc = DictionaryEncoder()
+        first = enc.encode(["p", "q"])
+        second = enc.encode(["q", "r", "p"])
+        assert list(first) == [0, 1]
+        assert list(second) == [1, 2, 0]

@@ -1,0 +1,125 @@
+"""Reference join/group-by vs brute force (including hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational import Relation, reference_groupby, reference_join
+from repro.relational.validation import assert_join_equal, join_match_indices
+
+
+def _brute_force_pairs(r_keys, s_keys):
+    return {
+        (ri, si)
+        for ri, rk in enumerate(r_keys)
+        for si, sk in enumerate(s_keys)
+        if rk == sk
+    }
+
+
+class TestMatchIndices:
+    def test_simple(self):
+        r = np.array([1, 2, 3], dtype=np.int32)
+        s = np.array([2, 2, 4], dtype=np.int32)
+        r_idx, s_idx = join_match_indices(r, s)
+        assert set(zip(r_idx, s_idx)) == {(1, 0), (1, 1)}
+
+    def test_s_major_order(self):
+        r = np.array([5, 5], dtype=np.int32)
+        s = np.array([5, 5], dtype=np.int32)
+        _, s_idx = join_match_indices(r, s)
+        assert list(s_idx) == sorted(s_idx)
+
+    def test_no_matches(self):
+        r_idx, s_idx = join_match_indices(
+            np.array([1], dtype=np.int32), np.array([2], dtype=np.int32)
+        )
+        assert r_idx.size == 0 and s_idx.size == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        r_keys=st.lists(st.integers(0, 12), max_size=40),
+        s_keys=st.lists(st.integers(0, 12), max_size=40),
+    )
+    def test_matches_brute_force(self, r_keys, s_keys):
+        r = np.asarray(r_keys, dtype=np.int64)
+        s = np.asarray(s_keys, dtype=np.int64)
+        r_idx, s_idx = join_match_indices(r, s)
+        assert set(zip(r_idx.tolist(), s_idx.tolist())) == _brute_force_pairs(
+            r_keys, s_keys
+        )
+
+
+class TestReferenceJoin:
+    def test_schema_and_rows(self):
+        r = Relation(
+            [("key", np.array([1, 2], dtype=np.int32)),
+             ("a", np.array([10, 20], dtype=np.int32))], key="key",
+        )
+        s = Relation(
+            [("key", np.array([2, 2], dtype=np.int32)),
+             ("b", np.array([7, 8], dtype=np.int32))], key="key",
+        )
+        out = reference_join(r, s)
+        assert out.column_names == ["key", "a", "b"]
+        assert out.num_rows == 2
+        assert list(out.column("a")) == [20, 20]
+        assert sorted(out.column("b")) == [7, 8]
+
+    def test_name_collision_suffixed(self):
+        r = Relation(
+            [("key", np.array([1], dtype=np.int32)),
+             ("v", np.array([5], dtype=np.int32))], key="key",
+        )
+        s = Relation(
+            [("key", np.array([1], dtype=np.int32)),
+             ("v", np.array([9], dtype=np.int32))], key="key",
+        )
+        out = reference_join(r, s)
+        assert out.column_names == ["key", "v", "v_s"]
+
+    def test_assert_join_equal_detects_row_diff(self):
+        r = Relation([("key", np.array([1], dtype=np.int32))], key="key")
+        s = Relation([("key", np.array([1], dtype=np.int32))], key="key")
+        out = reference_join(r, s)
+        bigger = Relation([("key", np.array([1, 1], dtype=np.int32))], key="key")
+        with pytest.raises(AssertionError, match="row-count"):
+            assert_join_equal(out, bigger)
+
+
+class TestReferenceGroupby:
+    def test_all_aggregates(self):
+        keys = np.array([1, 2, 1, 2, 2], dtype=np.int32)
+        values = {"v": np.array([10, 1, 30, 5, 3], dtype=np.int32)}
+        out = reference_groupby(keys, values, {"v": "sum"})
+        assert list(out["group_key"]) == [1, 2]
+        assert list(out["sum_v"]) == [40, 9]
+
+    def test_count_min_max_mean(self):
+        keys = np.array([0, 0, 1], dtype=np.int32)
+        values = {"v": np.array([4, 6, 9], dtype=np.int32)}
+        assert list(reference_groupby(keys, values, {"v": "count"})["count_v"]) == [2, 1]
+        assert list(reference_groupby(keys, values, {"v": "min"})["min_v"]) == [4, 9]
+        assert list(reference_groupby(keys, values, {"v": "max"})["max_v"]) == [6, 9]
+        means = reference_groupby(keys, values, {"v": "mean"})["mean_v"]
+        assert means[0] == pytest.approx(5.0)
+
+    def test_unknown_aggregate(self):
+        with pytest.raises(ValueError):
+            reference_groupby(
+                np.array([0]), {"v": np.array([1])}, {"v": "median"}
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 5), st.integers(-50, 50)),
+                    min_size=1, max_size=60))
+    def test_sum_matches_python_dict(self, rows):
+        keys = np.asarray([k for k, _ in rows], dtype=np.int64)
+        vals = np.asarray([v for _, v in rows], dtype=np.int64)
+        out = reference_groupby(keys, {"v": vals}, {"v": "sum"})
+        expected = {}
+        for k, v in rows:
+            expected[k] = expected.get(k, 0) + v
+        got = dict(zip(out["group_key"].tolist(), out["sum_v"].tolist()))
+        assert got == expected

@@ -1,0 +1,124 @@
+"""Join workload generators: distributions, ratios, validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.relational import join_match_indices
+from repro.workloads import (
+    JoinWorkloadSpec,
+    gb,
+    generate_join_workload,
+    rows_for_bytes,
+    workload_from_gb,
+)
+
+
+class TestBasicShape:
+    def test_row_counts_and_columns(self):
+        spec = JoinWorkloadSpec(r_rows=100, s_rows=300, r_payload_columns=3,
+                                s_payload_columns=1, seed=0)
+        r, s = generate_join_workload(spec)
+        assert r.num_rows == 100 and s.num_rows == 300
+        assert r.payload_names == ["r1", "r2", "r3"]
+        assert s.payload_names == ["s1"]
+
+    def test_primary_keys_unique_and_shuffled(self):
+        spec = JoinWorkloadSpec(r_rows=1000, s_rows=100, seed=1)
+        r, _ = generate_join_workload(spec)
+        assert np.unique(r.key_values).size == 1000
+        assert not np.array_equal(r.key_values, np.arange(1000))  # shuffled
+
+    def test_foreign_keys_in_domain(self):
+        spec = JoinWorkloadSpec(r_rows=500, s_rows=2000, seed=2)
+        _, s = generate_join_workload(spec)
+        assert s.key_values.min() >= 0
+        assert s.key_values.max() < 500
+
+    def test_dtypes(self):
+        spec = JoinWorkloadSpec(r_rows=10, s_rows=10, key_type="int64",
+                                payload_type="int64", seed=0)
+        r, s = generate_join_workload(spec)
+        assert r.key_values.dtype == np.int64
+        assert s.column("s1").dtype == np.int64
+
+    def test_deterministic_for_seed(self):
+        spec = JoinWorkloadSpec(r_rows=100, s_rows=100, seed=7)
+        r1, _ = generate_join_workload(spec)
+        r2, _ = generate_join_workload(spec)
+        assert np.array_equal(r1.key_values, r2.key_values)
+
+
+class TestMatchRatio:
+    @pytest.mark.parametrize("ratio", [0.0, 0.25, 0.5, 1.0])
+    def test_achieved_ratio(self, ratio):
+        spec = JoinWorkloadSpec(r_rows=5000, s_rows=20000, match_ratio=ratio, seed=3)
+        r, s = generate_join_workload(spec)
+        _, s_idx = join_match_indices(r.key_values, s.key_values)
+        achieved = s_idx.size / s.num_rows
+        assert achieved == pytest.approx(ratio, abs=0.03)
+
+    def test_displaced_keys_remain_unique(self):
+        spec = JoinWorkloadSpec(r_rows=1000, s_rows=100, match_ratio=0.4, seed=4)
+        r, _ = generate_join_workload(spec)
+        assert np.unique(r.key_values).size == 1000
+
+
+class TestSkew:
+    def test_zipf_increases_hottest_share(self):
+        from repro.workloads import hottest_key_share
+
+        shares = []
+        for zipf in (0.0, 1.0, 1.75):
+            spec = JoinWorkloadSpec(r_rows=4096, s_rows=1 << 15,
+                                    zipf_factor=zipf, seed=5)
+            _, s = generate_join_workload(spec)
+            shares.append(hottest_key_share(s.key_values))
+        assert shares[0] < shares[1] < shares[2]
+
+
+class TestValidation:
+    def test_bad_sizes(self):
+        with pytest.raises(WorkloadError):
+            generate_join_workload(JoinWorkloadSpec(r_rows=0, s_rows=5))
+
+    def test_bad_ratio(self):
+        with pytest.raises(WorkloadError):
+            generate_join_workload(JoinWorkloadSpec(r_rows=5, s_rows=5, match_ratio=1.5))
+
+    def test_bad_zipf(self):
+        with pytest.raises(WorkloadError):
+            generate_join_workload(JoinWorkloadSpec(r_rows=5, s_rows=5, zipf_factor=-1))
+
+    def test_key_overflow_detected(self):
+        # Displaced keys (match ratio < 1) reach 2|R| - 1 > int32 max.
+        spec = JoinWorkloadSpec(
+            r_rows=2 ** 30 + 1, s_rows=10, key_type="int32", match_ratio=0.5
+        )
+        with pytest.raises(WorkloadError, match="key type"):
+            generate_join_workload(spec)
+
+
+class TestSizeHelpers:
+    def test_gb(self):
+        assert gb(1) == 1 << 30
+        assert gb(1.5) == int(1.5 * (1 << 30))
+
+    def test_rows_for_bytes(self):
+        # 1 key + 2 payloads, all 4B: 12 bytes/row.
+        assert rows_for_bytes(1200, 2) == 100
+
+    def test_workload_from_gb_matches_paper_sizes(self):
+        # 1.5G with key + 2 payloads (4B each) ~ 2^27 rows.
+        spec = workload_from_gb(1.5, 3.0, r_payload_columns=2, s_payload_columns=2)
+        assert spec.r_rows == pytest.approx(1 << 27, rel=0.01)
+        assert spec.s_rows == pytest.approx(1 << 28, rel=0.01)
+
+    def test_workload_from_gb_scaled(self):
+        spec = workload_from_gb(1.0, 2.0, scale=2 ** -10)
+        assert spec.r_rows < 1 << 18
+
+    def test_spec_total_bytes(self):
+        spec = JoinWorkloadSpec(r_rows=100, s_rows=200, r_payload_columns=1,
+                                s_payload_columns=1)
+        assert spec.total_bytes == 100 * 8 + 200 * 8

@@ -1,0 +1,152 @@
+"""Zipf sampling, TPC join extracts, star schemas, group-by generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.relational import join_match_indices
+from repro.workloads import (
+    GroupByWorkloadSpec,
+    TPC_JOINS,
+    TPC_JOINS_BY_ID,
+    generate_groupby_workload,
+    generate_star_schema,
+    generate_tpc_join,
+    hottest_key_share,
+    sample_zipf,
+    tpch_lineitem_like,
+    zipf_cdf,
+)
+
+
+class TestZipf:
+    def test_uniform_at_zero(self):
+        rng = np.random.default_rng(0)
+        keys = sample_zipf(1000, 50000, 0.0, rng)
+        counts = np.bincount(keys, minlength=1000)
+        assert counts.max() < 3 * counts.mean()
+
+    def test_skew_monotonic_in_factor(self):
+        rng = np.random.default_rng(1)
+        shares = [
+            hottest_key_share(sample_zipf(4096, 1 << 15, z, rng))
+            for z in (0.0, 0.9, 1.5)
+        ]
+        assert shares[0] < shares[1] < shares[2]
+
+    def test_domain_respected(self):
+        rng = np.random.default_rng(2)
+        keys = sample_zipf(64, 10000, 1.5, rng)
+        assert keys.min() >= 0 and keys.max() < 64
+
+    def test_cdf_normalized(self):
+        cdf = zipf_cdf(100, 1.2)
+        assert cdf[-1] == pytest.approx(1.0)
+        assert np.all(np.diff(cdf) >= 0)
+
+    def test_cdf_validation(self):
+        with pytest.raises(ValueError):
+            zipf_cdf(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_cdf(10, -0.5)
+
+    def test_hot_ranks_shuffled(self):
+        rng = np.random.default_rng(3)
+        keys = sample_zipf(1 << 12, 1 << 14, 1.5, rng, shuffle_ranks=True)
+        counts = np.bincount(keys, minlength=1 << 12)
+        # The hottest key should usually not be key 0 once shuffled.
+        assert counts.argmax() != 0
+
+    def test_hottest_share_empty(self):
+        assert hottest_key_share(np.empty(0, dtype=np.int64)) == 0.0
+
+
+class TestTPCJoins:
+    def test_table6_inventory(self):
+        assert [s.join_id for s in TPC_JOINS] == ["J1", "J2", "J3", "J4", "J5"]
+        assert TPC_JOINS_BY_ID["J5"].self_join
+        assert TPC_JOINS_BY_ID["J4"].s_key_payloads == 3
+        assert TPC_JOINS_BY_ID["J4"].s_nonkey_payloads == 7
+
+    @pytest.mark.parametrize("join_id", ["J1", "J2", "J3", "J4"])
+    def test_pk_fk_match_cardinality(self, join_id):
+        spec = TPC_JOINS_BY_ID[join_id]
+        r, s = generate_tpc_join(spec, scale=1e-4, seed=0)
+        _, s_idx = join_match_indices(r.key_values, s.key_values)
+        # Table 6: |R ⋈ S| == |S| for the PK-FK joins.
+        assert s_idx.size == s.num_rows
+
+    def test_j5_multiplicity(self):
+        spec = TPC_JOINS_BY_ID["J5"]
+        r, s = generate_tpc_join(spec, scale=2e-5, seed=0)
+        r_idx, _ = join_match_indices(r.key_values, s.key_values)
+        multiplicity = r_idx.size / s.num_rows
+        assert multiplicity == pytest.approx(spec.multiplicity, rel=0.4)
+
+    def test_mixed_variant_types(self):
+        r, s = generate_tpc_join(TPC_JOINS_BY_ID["J1"], scale=1e-4, variant="mixed")
+        assert r.key_values.dtype == np.int32
+        assert r.column("rk1").dtype == np.int32  # key-typed payload
+        assert r.column("rn1").dtype == np.int64  # non-key payload
+
+    def test_wide_variant_types(self):
+        r, _ = generate_tpc_join(TPC_JOINS_BY_ID["J1"], scale=1e-4, variant="wide")
+        assert r.key_values.dtype == np.int64
+
+    def test_payload_column_counts(self):
+        r, s = generate_tpc_join(TPC_JOINS_BY_ID["J4"], scale=1e-4)
+        assert r.num_payload_columns == 1
+        assert s.num_payload_columns == 10  # 3 key + 7 non-key
+
+    def test_bad_variant(self):
+        with pytest.raises(WorkloadError):
+            generate_tpc_join(TPC_JOINS[0], scale=1e-4, variant="huge")
+
+    def test_bad_scale(self):
+        with pytest.raises(WorkloadError):
+            generate_tpc_join(TPC_JOINS[0], scale=2.0)
+
+
+class TestStarSchema:
+    def test_shapes(self):
+        fact, fk_names, dims = generate_star_schema(1000, 100, 4, seed=0)
+        assert fact.num_rows == 1000
+        assert fk_names == ["FK1", "FK2", "FK3", "FK4"]
+        assert len(dims) == 4
+        assert dims[2].payload_names == ["P3"]
+
+    def test_full_match(self):
+        fact, fk_names, dims = generate_star_schema(500, 50, 2, seed=1)
+        for fk, dim in zip(fk_names, dims):
+            _, s_idx = join_match_indices(dim.key_values, fact.column(fk))
+            assert s_idx.size == fact.num_rows
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            generate_star_schema(0, 10, 1)
+        with pytest.raises(WorkloadError):
+            generate_star_schema(10, 10, 0)
+
+
+class TestGroupByGenerator:
+    def test_shapes(self):
+        keys, values = generate_groupby_workload(
+            GroupByWorkloadSpec(rows=500, groups=10, value_columns=3, seed=0)
+        )
+        assert keys.size == 500
+        assert sorted(values) == ["v1", "v2", "v3"]
+        assert np.unique(keys).size <= 10
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            generate_groupby_workload(GroupByWorkloadSpec(rows=0, groups=1))
+        with pytest.raises(WorkloadError):
+            generate_groupby_workload(GroupByWorkloadSpec(rows=1, groups=0))
+
+    def test_lineitem_like(self):
+        order_key, columns = tpch_lineitem_like(1000, seed=0)
+        assert order_key.size == 1000
+        assert set(columns) == {"quantity", "extendedprice", "returnflag", "linestatus"}
+        assert columns["returnflag"].max() < 4
+        assert columns["linestatus"].max() < 2
+        assert columns["quantity"].min() >= 1
