@@ -9,6 +9,13 @@ module, timing it under pytest-benchmark, printing the rendered table
 microbenchmarks; the device geometry is scaled identically (see
 ``repro.gpusim.device.scaled_device``), so regime boundaries match paper
 scale.  Heavy sweeps use ``SWEEP_SCALE`` to keep wall time reasonable.
+
+Pass ``--trace-dir DIR`` to any benchmark invocation to capture a
+``repro.obs.TraceSession`` per benchmark (see ``conftest.py``): each
+test writes ``DIR/<test>.trace.json`` (open in ``chrome://tracing`` or
+https://ui.perfetto.dev), ``<test>.counters.csv`` and
+``<test>.report.txt``.  Tracing is zero-overhead when the flag is
+absent.
 """
 
 from repro.bench.reporting import print_and_save

@@ -1,0 +1,45 @@
+"""Benchmark-suite options.
+
+``--trace-dir DIR`` captures a :class:`repro.obs.TraceSession` around
+every benchmark and writes ``<benchmark>.trace.json`` (open in
+``chrome://tracing`` or Perfetto), ``<benchmark>.counters.csv`` and
+``<benchmark>.report.txt`` into DIR::
+
+    pytest benchmarks/bench_fig10.py --benchmark-only --trace-dir traces/
+
+(The name avoids pytest's built-in ``--trace`` debugging flag; the
+``python -m repro.bench`` CLI spells it ``--trace``.)  Without the
+flag, tracing stays disabled and benchmarks run with zero
+instrumentation overhead.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--trace-dir",
+        action="store",
+        default=None,
+        metavar="DIR",
+        help="export a Chrome-trace JSON + counter CSV + report per benchmark",
+    )
+
+
+@pytest.fixture
+def trace_dir(request):
+    """The --trace-dir output directory, or None when tracing is off."""
+    return request.config.getoption("--trace-dir")
+
+
+@pytest.fixture(autouse=True)
+def _traced_benchmark(request, trace_dir):
+    """Capture every benchmark into a TraceSession when --trace-dir is set."""
+    if not trace_dir:
+        yield
+        return
+    from repro.obs import TraceSession, export_session
+
+    with TraceSession(request.node.name) as session:
+        yield
+    export_session(session, trace_dir)

@@ -12,7 +12,16 @@ the end-to-end story the paper's introduction motivates: relational
 operators living on the GPU next to their consumers.
 
 Run: ``python examples/mini_query_engine.py``
+
+Pass ``--trace trace.json`` to also capture the optimized run as a
+Chrome-trace file (open in ``chrome://tracing`` or
+https://ui.perfetto.dev) and print the per-operator counter report.
 """
+
+import sys
+
+if "--trace" in sys.argv and sys.argv.index("--trace") + 1 >= len(sys.argv):
+    sys.exit("usage: python examples/mini_query_engine.py [--trace PATH]")
 
 import numpy as np
 
@@ -77,3 +86,13 @@ print(
     f"revenue={optimized.output['sum_o1'][top]} "
     f"orders={optimized.output['count_o1'][top]}"
 )
+
+if "--trace" in sys.argv:
+    from repro import TraceSession, per_operator_report, write_chrome_trace
+
+    trace_path = sys.argv[sys.argv.index("--trace") + 1]
+    with TraceSession("mini_query_engine") as session:
+        execute(plan, device=DEVICE, config=CONFIG, seed=0)
+    path = write_chrome_trace(session, trace_path)
+    print(f"\nwrote {path} — open in chrome://tracing or ui.perfetto.dev")
+    print(per_operator_report(session))

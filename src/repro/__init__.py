@@ -27,6 +27,13 @@ from .errors import (
     WorkloadError,
 )
 from .gpusim import A100, CPU_SERVER, RTX3090, DeviceSpec, GPUContext, scaled_device
+from .obs import (
+    TraceSession,
+    per_operator_report,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_counters_csv,
+)
 from .joins import (
     ALGORITHMS,
     CPURadixJoin,
@@ -74,12 +81,17 @@ __all__ = [
     "SortGroupBy",
     "SortMergeJoinOM",
     "SortMergeJoinUM",
+    "TraceSession",
     "WorkloadError",
     "group_by",
     "join",
+    "per_operator_report",
     "recommend_groupby_algorithm",
     "recommend_join_algorithm",
     "reference_groupby",
     "reference_join",
     "scaled_device",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_counters_csv",
 ]

@@ -183,7 +183,14 @@ class GroupByAlgorithm(ABC):
         if ctx is None:
             ctx = GPUContext(device=device, seed=seed)
 
-        output = self._execute(ctx, keys, values, aggregates)
+        with ctx.trace_span(
+            f"groupby:{self.name}",
+            category="algorithm",
+            pattern=self.pattern,
+            rows=int(keys.size),
+        ):
+            output = self._execute(ctx, keys, values, aggregates)
+        ctx.count("groupby_groups", int(output["group_key"].size))
 
         input_bytes = int(keys.nbytes) + sum(int(v.nbytes) for v in values.values())
         return GroupByResult(

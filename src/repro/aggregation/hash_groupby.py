@@ -114,6 +114,7 @@ class HashGroupBy(GroupByAlgorithm):
                 slots = hash_to_slots(keys, capacity)
                 slot_stats = analyze_indices(slots, SLOT_BYTES)
                 conflict = atomic_contention(inverse, num_groups)
+                ctx.count("hash_table_probe_slots", int(slots.size))
                 for name, col_bytes in passes:
                     ctx.submit(
                         KernelStats(

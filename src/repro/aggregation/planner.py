@@ -19,12 +19,32 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List
 
+import numpy as np
+
 from ..gpusim.device import A100, DeviceSpec
 from .hash_groupby import SLOT_BYTES
 
 #: Above this many rows per group, global atomic folds contend enough
 #: that partitioned aggregation wins in the L2-resident regime.
 CONTENTION_ROWS_PER_GROUP = 128
+
+#: Largest key sample examined when estimating group cardinality.
+CARDINALITY_SAMPLE_LIMIT = 65536
+
+
+def estimate_group_cardinality(
+    keys: np.ndarray, sample_limit: int = CARDINALITY_SAMPLE_LIMIT
+) -> int:
+    """Group-cardinality estimate from a strided key sample.
+
+    An optimizer would have catalog statistics; distinct-in-sample is a
+    cheap lower bound that is exact for inputs of up to ``sample_limit``
+    rows and deterministic (stride, not random sample) above it.  The
+    single estimator behind every ``algorithm="auto"`` group-by path.
+    """
+    if keys.size <= sample_limit:
+        return int(np.unique(keys).size)
+    return int(np.unique(keys[:: max(1, keys.size // sample_limit)]).size)
 
 
 @dataclass

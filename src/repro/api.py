@@ -21,6 +21,7 @@ import numpy as np
 from .aggregation.base import AggSpec, GroupByConfig, GroupByResult
 from .aggregation.planner import (
     GroupByWorkloadProfile,
+    estimate_group_cardinality,
     make_groupby_algorithm,
     recommend_groupby_algorithm,
 )
@@ -106,13 +107,9 @@ def group_by(
     spec = _resolve_device(device)
     agg_specs = _coerce_aggregates(aggregates)
     if algorithm == "auto":
-        # Cardinality estimate from a strided sample (an optimizer would
-        # have catalog statistics; distinct-in-sample is a lower bound).
-        sample = keys if keys.size <= 65536 else keys[:: max(1, keys.size // 65536)]
-        estimated = int(np.unique(sample).size)
         profile = GroupByWorkloadProfile(
             rows=int(keys.size),
-            estimated_groups=estimated,
+            estimated_groups=estimate_group_cardinality(keys),
             value_columns=len(values),
             key_bytes=keys.dtype.itemsize,
             zipf_factor=zipf_factor,

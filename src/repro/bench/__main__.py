@@ -16,7 +16,7 @@ import sys
 import time
 
 from .experiments import ALL_EXPERIMENTS
-from .harness import DEFAULT_SCALE
+from .harness import DEFAULT_SCALE, run_traced
 from .reporting import print_and_save
 
 
@@ -38,6 +38,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--seed", type=int, default=0, help="workload generator seed"
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="DIR",
+        default=None,
+        help=(
+            "capture a TraceSession per experiment and write "
+            "<id>.trace.json (chrome://tracing / Perfetto), "
+            "<id>.counters.csv and <id>.report.txt into DIR"
+        ),
     )
     return parser
 
@@ -64,7 +74,14 @@ def main(argv=None) -> int:
 
     for name in names:
         started = time.time()
-        result = ALL_EXPERIMENTS[name](scale=args.scale, seed=args.seed)
+        runner = ALL_EXPERIMENTS[name]
+        if args.trace:
+            result, _ = run_traced(
+                lambda: runner(scale=args.scale, seed=args.seed), name, args.trace
+            )
+            print(f"[{name}] trace -> {args.trace}/{name}.trace.json")
+        else:
+            result = runner(scale=args.scale, seed=args.seed)
         path = print_and_save(result)
         print(f"[{name}] {time.time() - started:.1f}s wall -> {path}")
     return 0

@@ -16,11 +16,13 @@ where it does at paper scale.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..gpusim.device import A100, CPU_SERVER, DeviceSpec, scaled_device
 from ..joins.base import JoinConfig, JoinResult
 from ..joins.planner import make_algorithm
+from ..obs import TraceSession, export_session
 from ..relational.relation import Relation
 
 #: Default workload scale relative to the paper (2^27 -> 2^18 tuples).
@@ -76,6 +78,21 @@ def run_algorithm(
     algorithm = make_algorithm(name, config or setup.config)
     device = setup.cpu_device if name == "CPU" else setup.device
     return algorithm.join(r, s, device=device, seed=seed)
+
+
+def run_traced(runner: Callable, name: str, trace_dir) -> tuple:
+    """Run ``runner()`` under a :class:`TraceSession` and export it.
+
+    Writes ``<name>.trace.json`` (Chrome trace / Perfetto),
+    ``<name>.counters.csv`` and ``<name>.report.txt`` under *trace_dir*.
+    Returns ``(runner result, session)``.  The shared implementation
+    behind ``python -m repro.bench --trace`` and the benchmarks' pytest
+    ``--trace`` option.
+    """
+    with TraceSession(name) as session:
+        result = runner()
+    export_session(session, Path(trace_dir), name)
+    return result, session
 
 
 def median(values: Sequence[float]) -> float:

@@ -8,11 +8,12 @@ bench harness reads simulated times and memory peaks from it afterwards.
 
 from __future__ import annotations
 
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 from typing import Iterator, Optional
 
 import numpy as np
 
+from ..obs.session import current_session
 from .costmodel import CostModel
 from .device import A100, DeviceSpec
 from .kernel import KernelRecord, KernelStats
@@ -38,6 +39,11 @@ class GPUContext:
     seed:
         Seed for the context RNG (used by the bucket-chain partitioner to
         simulate atomic non-determinism).
+    trace:
+        An explicit :class:`~repro.obs.session.TraceSession` to report
+        into.  ``None`` (default) picks up the active session if one is
+        installed (``with TraceSession(): ...``); tracing stays fully
+        disabled otherwise.
     """
 
     def __init__(
@@ -46,12 +52,14 @@ class GPUContext:
         mem_capacity: Optional[int] = None,
         enforce_capacity: bool = False,
         seed: Optional[int] = None,
+        trace=None,
     ):
         self.device = device
         capacity = mem_capacity if mem_capacity is not None else device.global_mem_bytes
         self.mem = DeviceMemory(capacity if enforce_capacity else None)
         self.cost = CostModel(device)
-        self.timeline = PhaseTimeline()
+        self.trace = trace if trace is not None else current_session()
+        self.timeline = PhaseTimeline(trace=self.trace)
         self.profiler = Profiler(device)
         self.rng = np.random.default_rng(seed)
 
@@ -64,6 +72,8 @@ class GPUContext:
         record = KernelRecord(stats=stats, seconds=seconds, phase=phase or "", extra=extra)
         self.timeline.add(record)
         self.profiler.record(record)
+        if self.trace is not None:
+            self.trace.record_kernel(record, self.device)
         return seconds
 
     @contextmanager
@@ -76,6 +86,19 @@ class GPUContext:
         finally:
             self.mem.set_phase(None)
 
+    # -- observability hooks ---------------------------------------------------
+
+    def count(self, counter: str, value: float = 1.0) -> None:
+        """Increment a named trace counter; no-op when tracing is off."""
+        if self.trace is not None:
+            self.trace.count(counter, value)
+
+    def trace_span(self, name: str, category: str = "span", **args):
+        """A span on the active trace, or a null context when off."""
+        if self.trace is None:
+            return nullcontext()
+        return self.trace.span(name, category, **args)
+
     # -- conveniences ----------------------------------------------------------
 
     @property
@@ -84,4 +107,4 @@ class GPUContext:
 
     def fork(self, seed: Optional[int] = None) -> "GPUContext":
         """A fresh context on the same device (new memory/timeline)."""
-        return GPUContext(device=self.device, seed=seed)
+        return GPUContext(device=self.device, seed=seed, trace=self.trace)

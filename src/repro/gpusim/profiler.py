@@ -10,7 +10,7 @@ simulated kernels.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Iterable, List, Optional, Tuple
 
 from .costmodel import CostModel
 from .device import SECTOR_BYTES, WARP_SIZE, DeviceSpec
@@ -56,6 +56,38 @@ class ProfileCounters:
         ]
 
 
+def aggregate_counters(entries: Iterable[Tuple[KernelStats, float]]) -> ProfileCounters:
+    """Fold ``(stats, cycles)`` pairs into one Table-4 counter set.
+
+    Shared by :class:`Profiler` (which derives cycles from its device's
+    clock) and the trace report exporter (whose kernel events carry the
+    cycle count of whichever device submitted them).
+    """
+    items = 0
+    cycles = 0.0
+    warp_instr = 0.0
+    read_bytes = 0.0
+    requests = 0
+    sectors = 0
+    for stats, kernel_cycles in entries:
+        items += stats.items
+        cycles += kernel_cycles
+        # items/WARP_SIZE warps, each executing INSTRUCTIONS_PER_ITEM
+        # instructions per item handled by its lanes.
+        warp_instr += (stats.items / WARP_SIZE) * INSTRUCTIONS_PER_ITEM
+        read_bytes += stats.seq_read_bytes + stats.random_sector_touches * SECTOR_BYTES
+        requests += stats.random_requests
+        sectors += stats.random_sector_touches
+    return ProfileCounters(
+        items=items,
+        total_cycles=cycles,
+        warp_instructions=warp_instr,
+        memory_read_bytes=read_bytes,
+        load_requests=requests,
+        sector_touches=sectors,
+    )
+
+
 class Profiler:
     """Collects per-kernel records and derives aggregate counters."""
 
@@ -80,31 +112,10 @@ class Profiler:
         ``name_filter`` restricts aggregation to kernels whose stats name
         contains the given substring (e.g. ``"gather"``).
         """
-        selected = [
-            r
+        return aggregate_counters(
+            (r.stats, r.seconds * self.device.clock_hz)
             for r in self._records
             if name_filter is None or name_filter in r.stats.name
-        ]
-        items = sum(r.stats.items for r in selected)
-        cycles = sum(r.seconds * self.device.clock_hz for r in selected)
-        # items/WARP_SIZE warps, each executing INSTRUCTIONS_PER_ITEM
-        # instructions per item handled by its lanes.
-        warp_instr = sum(
-            (r.stats.items / WARP_SIZE) * INSTRUCTIONS_PER_ITEM for r in selected
-        )
-        read_bytes = sum(
-            r.stats.seq_read_bytes + r.stats.random_sector_touches * SECTOR_BYTES
-            for r in selected
-        )
-        requests = sum(r.stats.random_requests for r in selected)
-        sectors = sum(r.stats.random_sector_touches for r in selected)
-        return ProfileCounters(
-            items=items,
-            total_cycles=cycles,
-            warp_instructions=warp_instr,
-            memory_read_bytes=read_bytes,
-            load_requests=requests,
-            sector_touches=sectors,
         )
 
     def profile_kernel(self, stats: KernelStats) -> ProfileCounters:

@@ -20,11 +20,18 @@ PHASES = ("transform", "match", "materialize")
 
 
 class PhaseTimeline:
-    """Accumulates kernel records grouped by phase."""
+    """Accumulates kernel records grouped by phase.
 
-    def __init__(self):
+    When built with a :class:`~repro.obs.session.TraceSession`, every
+    :meth:`phase` block additionally opens a phase span on the session,
+    so exported traces show the same transform/match/materialize
+    structure the breakdown reports.
+    """
+
+    def __init__(self, trace=None):
         self._records: "OrderedDict[str, List[KernelRecord]]" = OrderedDict()
         self.current_phase: Optional[str] = None
+        self.trace = trace
 
     def add(self, record: KernelRecord) -> None:
         phase = record.phase or self.current_phase or "other"
@@ -36,10 +43,17 @@ class PhaseTimeline:
         """Attribute kernels submitted inside the block to *name*."""
         previous = self.current_phase
         self.current_phase = name
+        span = (
+            self.trace.span(name, category="phase") if self.trace is not None else None
+        )
+        if span is not None:
+            span.__enter__()
         try:
             yield
         finally:
             self.current_phase = previous
+            if span is not None:
+                span.__exit__(None, None, None)
 
     # -- queries -----------------------------------------------------------
 

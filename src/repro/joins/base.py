@@ -249,12 +249,20 @@ class JoinAlgorithm(ABC):
         # directly, so there is no materialization phase.
         narrow_exec = getattr(self, "_execute_narrow", None)
         is_narrow = r.num_payload_columns <= 1 and s.num_payload_columns <= 1
-        if is_narrow and narrow_exec is not None and self.config.projection is None:
-            output_columns = narrow_exec(ctx, r, s, unique)
-        else:
-            output_columns = self._execute(ctx, r, s, unique)
+        with ctx.trace_span(
+            f"join:{self.name}",
+            category="algorithm",
+            pattern=self.pattern,
+            r_rows=r.num_rows,
+            s_rows=s.num_rows,
+        ):
+            if is_narrow and narrow_exec is not None and self.config.projection is None:
+                output_columns = narrow_exec(ctx, r, s, unique)
+            else:
+                output_columns = self._execute(ctx, r, s, unique)
 
         output = Relation(output_columns, key="key", name=self.config.output_name)
+        ctx.count("join_matches", output.num_rows)
         phase_seconds = dict(ctx.timeline.breakdown())
         return JoinResult(
             output=output,

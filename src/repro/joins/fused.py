@@ -28,6 +28,7 @@ import numpy as np
 from ..aggregation.base import AggSpec, GroupByAlgorithm, GroupByResult
 from ..aggregation.planner import (
     GroupByWorkloadProfile,
+    estimate_group_cardinality,
     make_groupby_algorithm,
     recommend_groupby_algorithm,
 )
@@ -126,10 +127,9 @@ class FusedJoinAggregate:
         }
         groupby_algorithm = self.groupby_algorithm
         if groupby_algorithm is None:
-            sample = keys if keys.size <= 65536 else keys[:: max(1, keys.size // 65536)]
             profile = GroupByWorkloadProfile(
                 rows=int(keys.size),
-                estimated_groups=int(np.unique(sample).size),
+                estimated_groups=estimate_group_cardinality(keys),
                 value_columns=len(values),
             )
             groupby_algorithm = make_groupby_algorithm(
@@ -154,6 +154,8 @@ class FusedJoinAggregate:
                     launches=0,
                 )
             )
+            ctx.count("fusion_credit_s", credit)
+            ctx.count("fusion_elided_bytes", 2 * fused_bytes)
         return FusedResult(
             join_result=join_result,
             groupby_result=groupby_result,

@@ -43,6 +43,7 @@ def _charge_table_traffic(
     name: str,
 ) -> None:
     """Random slot traffic measured from the actual probe sequences."""
+    ctx.count("hash_table_probe_slots", int(touched_slots.size))
     sector = analyze_indices(touched_slots, SLOT_BYTES)
     ctx.submit(
         KernelStats(

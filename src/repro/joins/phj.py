@@ -99,6 +99,7 @@ def charge_hash_match(
     build_read = int((build_counts * build_tuple_bytes).sum())
     probe_work = probe_counts * build_subparts * probe_tuple_bytes
     probe_read = int(probe_work.sum())
+    ctx.count("hash_table_probe_slots", int((probe_counts * build_subparts).sum()))
     skew_stall_bytes = 0
     if not load_balanced and probe_work.size:
         # Wall time ~ the hottest partition's work times the unit count

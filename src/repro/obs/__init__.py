@@ -1,0 +1,44 @@
+"""Unified observability: trace sessions, counters, and exporters.
+
+Activate a :class:`TraceSession` around any library call — a raw
+``join()``, a planned query, a whole experiment — and every layer
+reports into it::
+
+    from repro.obs import TraceSession, write_chrome_trace
+
+    with TraceSession("demo") as session:
+        result = join(r, s)
+
+    write_chrome_trace(session, "trace.json")   # open in chrome://tracing
+    print(per_operator_report(session))         # Table-4 counters per operator
+
+With no active session every hook is a single ``is None`` check —
+tracing is strictly zero-overhead when disabled and adds no
+dependencies beyond the standard library.
+"""
+
+from .export import (
+    counters_csv,
+    export_session,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_counters_csv,
+)
+from .metrics import STAT_COUNTERS, MetricsRegistry
+from .report import per_operator_report, write_report
+from .session import TraceEvent, TraceSession, current_session
+
+__all__ = [
+    "MetricsRegistry",
+    "STAT_COUNTERS",
+    "TraceEvent",
+    "TraceSession",
+    "counters_csv",
+    "current_session",
+    "export_session",
+    "per_operator_report",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_counters_csv",
+    "write_report",
+]

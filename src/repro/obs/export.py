@@ -1,0 +1,119 @@
+"""Trace exporters: Chrome-trace JSON and flat counter CSV.
+
+The JSON exporter emits the Trace Event Format understood by
+``chrome://tracing`` and by Perfetto's legacy importer
+(https://ui.perfetto.dev): a flat list of complete (``"ph": "X"``)
+events on one pid/tid, nested by interval containment on the simulated
+clock.  Only the standard library is used, preserving the package's
+numpy-only dependency footprint.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from .session import KERNEL, TraceSession
+
+#: Trace-viewer timestamps are microseconds.
+_US = 1e6
+
+
+def _kernel_args(event) -> Dict[str, object]:
+    stats = event.record.stats
+    args: Dict[str, object] = {
+        "phase": event.args.get("phase", ""),
+        "device": event.device,
+        "items": stats.items,
+        "seq_read_bytes": stats.seq_read_bytes,
+        "seq_write_bytes": stats.seq_write_bytes,
+        "random_requests": stats.random_requests,
+        "random_sector_touches": stats.random_sector_touches,
+        "random_cold_sectors": stats.random_cold_sectors,
+        "atomic_ops": stats.atomic_ops,
+    }
+    if stats.host_transfer_bytes:
+        args["host_transfer_bytes"] = stats.host_transfer_bytes
+    if stats.random_requests:
+        args["sectors_per_request"] = round(stats.sectors_per_request, 3)
+    return args
+
+
+def to_chrome_trace(session: TraceSession) -> Dict[str, object]:
+    """The session as a Trace Event Format document (a JSON-able dict)."""
+    events: List[Dict[str, object]] = [
+        {
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": f"repro simulated device: {session.name}"},
+        }
+    ]
+    for event in session.events:
+        end = event.end_s if event.end_s is not None else session.clock_s
+        entry: Dict[str, object] = {
+            "ph": "X",
+            "pid": 0,
+            "tid": 0,
+            "name": event.name,
+            "cat": event.category,
+            "ts": event.start_s * _US,
+            "dur": (end - event.start_s) * _US,
+            "args": _kernel_args(event) if event.category == KERNEL else dict(event.args),
+        }
+        events.append(entry)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "session": session.name,
+            "simulated_seconds": session.total_seconds,
+            "counters": session.metrics.as_dict(),
+        },
+    }
+
+
+def write_chrome_trace(session: TraceSession, path) -> Path:
+    """Serialize the session to a ``chrome://tracing`` JSON file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_chrome_trace(session), indent=1))
+    return path
+
+
+def counters_csv(session: TraceSession) -> str:
+    """The session's counters as ``counter,value`` CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["counter", "value"])
+    for name, value in session.metrics.rows():
+        writer.writerow([name, value])
+    return buffer.getvalue()
+
+
+def write_counters_csv(session: TraceSession, path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(counters_csv(session))
+    return path
+
+
+def export_session(session: TraceSession, directory, name: Optional[str] = None) -> List[Path]:
+    """Write the standard artifact triple for one session into *directory*.
+
+    ``<name>.trace.json`` (Chrome trace), ``<name>.counters.csv`` and
+    ``<name>.report.txt``; *name* defaults to the session's name.
+    """
+    from .report import write_report  # local import to avoid a cycle
+
+    directory = Path(directory)
+    name = name or session.name
+    return [
+        write_chrome_trace(session, directory / f"{name}.trace.json"),
+        write_counters_csv(session, directory / f"{name}.counters.csv"),
+        write_report(session, directory / f"{name}.report.txt"),
+    ]

@@ -1,0 +1,80 @@
+"""Named counters aggregated over a traced run.
+
+The registry mirrors the counter surface of an Nsight capture: most
+counters derive mechanically from the :class:`~repro.gpusim.kernel.KernelStats`
+records the algorithms already submit (bytes streamed, sector touches,
+atomic ops, ...), while a handful of algorithm-level counters
+(``partition_passes``, ``hash_table_probe_slots``, ``fusion_credit_s``)
+are incremented explicitly through :meth:`GPUContext.count
+<repro.gpusim.context.GPUContext.count>` — a no-op when tracing is off.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+#: Counters lifted from every submitted kernel's stats record:
+#: (counter name, KernelStats attribute).
+STAT_COUNTERS: Tuple[Tuple[str, str], ...] = (
+    ("kernel_launches", "launches"),
+    ("items", "items"),
+    ("seq_read_bytes", "seq_read_bytes"),
+    ("seq_write_bytes", "seq_write_bytes"),
+    ("random_requests", "random_requests"),
+    ("random_sector_touches", "random_sector_touches"),
+    ("random_cold_sectors", "random_cold_sectors"),
+    ("host_transfer_bytes", "host_transfer_bytes"),
+    ("atomic_ops", "atomic_ops"),
+)
+
+
+class MetricsRegistry:
+    """A flat map of named counters with float/int values."""
+
+    def __init__(self):
+        self._counters: Dict[str, float] = {}
+
+    def increment(self, name: str, value: float = 1.0) -> None:
+        self._counters[name] = self._counters.get(name, 0.0) + value
+
+    def record_kernel_stats(self, stats) -> None:
+        """Fold one kernel's traffic description into the counters."""
+        for counter, attribute in STAT_COUNTERS:
+            value = getattr(stats, attribute)
+            if value:
+                self.increment(counter, value)
+
+    def value(self, name: str, default: float = 0.0) -> float:
+        return self._counters.get(name, default)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counters
+
+    def __len__(self) -> int:
+        return len(self._counters)
+
+    def as_dict(self, derived: bool = True) -> Dict[str, float]:
+        """All counters (sorted by name), optionally with derived ratios."""
+        counters = dict(self._counters)
+        if derived:
+            counters["bytes_streamed"] = counters.get(
+                "seq_read_bytes", 0.0
+            ) + counters.get("seq_write_bytes", 0.0)
+            requests = counters.get("random_requests", 0.0)
+            counters["sectors_per_request"] = (
+                counters.get("random_sector_touches", 0.0) / requests
+                if requests
+                else 0.0
+            )
+        return dict(sorted(counters.items()))
+
+    def rows(self, derived: bool = True) -> List[Tuple[str, float]]:
+        """(name, value) rows for the CSV exporter."""
+        return list(self.as_dict(derived=derived).items())
+
+    def merged_with(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        merged = MetricsRegistry()
+        for source in (self, other):
+            for name, value in source._counters.items():
+                merged.increment(name, value)
+        return merged

@@ -1,0 +1,66 @@
+"""Human-readable per-query trace report.
+
+Reproduces the Table 4 counter layout (total cycles, warp instructions,
+cycles per warp instruction, memory read volume, sectors per load
+request) *per operator span* of a traced run, followed by the session's
+flat counter totals — the text analogue of opening the Chrome trace.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List
+
+from ..gpusim.profiler import aggregate_counters
+from .session import ALGORITHM, OPERATOR, TraceSession
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.6g}"
+    return f"{int(value)}"
+
+
+def per_operator_report(session: TraceSession) -> str:
+    """Render Table-4-style counters for each operator of the session."""
+    lines: List[str] = [f"== trace report: {session.name} =="]
+    lines.append(
+        f"simulated total: {session.total_seconds * 1e3:.4f} ms, "
+        f"{len(session.kernel_events())} kernels"
+    )
+
+    spans = session.spans(category=OPERATOR)
+    if not spans:  # bare algorithm runs outside a query plan
+        spans = session.spans(category=ALGORITHM)
+    for index, span in spans:
+        kernels = session.kernels_under(index)
+        lines.append("")
+        lines.append(
+            f"-- {span.name} ({span.duration_s * 1e3:.4f} ms, "
+            f"{len(kernels)} kernels) --"
+        )
+        if not kernels:
+            lines.append("   (no kernels)")
+            continue
+        counters = aggregate_counters((e.record.stats, e.cycles) for e in kernels)
+        for label, value in counters.as_table_rows():
+            lines.append(f"   {label:36s} {_format_value(value)}")
+        phases = {}
+        for event in kernels:
+            phase = str(event.args.get("phase") or "other")
+            phases[phase] = phases.get(phase, 0.0) + event.duration_s
+        breakdown = ", ".join(f"{p}={s * 1e3:.4f}ms" for p, s in phases.items())
+        lines.append(f"   phases: {breakdown}")
+
+    lines.append("")
+    lines.append("-- session counters --")
+    for name, value in session.metrics.rows():
+        lines.append(f"   {name:36s} {_format_value(value)}")
+    return "\n".join(lines)
+
+
+def write_report(session: TraceSession, path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(per_operator_report(session) + "\n")
+    return path

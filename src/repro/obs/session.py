@@ -1,0 +1,228 @@
+"""Trace sessions: structured span/kernel events on the simulated clock.
+
+The paper's methodology is profile-first — every claim rests on
+per-phase, per-kernel memory-traffic counters (Figures 1, 9-17,
+Table 4).  A :class:`TraceSession` gives the reproduction the same
+inspectability: while a session is active, every
+:meth:`~repro.gpusim.context.GPUContext.submit` becomes a *kernel
+event*, every :meth:`~repro.gpusim.timeline.PhaseTimeline.phase` block
+becomes a *phase span*, and the query executor / join / group-by layers
+open *operator* and *algorithm* spans around their work.  Events nest
+by containment and sit on a single monotone simulated clock (seconds of
+simulated device time, not wall time), so the export renders exactly
+like a real profiler capture.
+
+Activation is stack-based and optional: with no active session, the
+hot paths pay a single ``is None`` check per kernel and nothing else —
+the zero-overhead-when-disabled guarantee the bench harness relies on.
+
+This module is self-contained (it imports nothing from the simulator
+beyond type names at call sites) so every other layer can import it
+without cycles.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .metrics import MetricsRegistry
+
+#: Canonical phase display order, mirrored from the timeline (kept local
+#: so this module stays import-cycle free).
+_CANONICAL_PHASES = ("transform", "match", "aggregate", "materialize")
+
+#: Event categories used by the built-in instrumentation.
+OPERATOR, ALGORITHM, PHASE, KERNEL = "operator", "algorithm", "phase", "kernel"
+
+
+@dataclass
+class TraceEvent:
+    """One span or kernel on the session's simulated clock.
+
+    ``start_s``/``end_s`` are simulated seconds since session start;
+    spans that are still open have ``end_s is None``.  Kernel events
+    additionally carry the submitted :class:`~repro.gpusim.kernel.KernelRecord`
+    and the cycle count implied by the submitting device's clock.
+    """
+
+    name: str
+    category: str
+    start_s: float
+    end_s: Optional[float] = None
+    parent: Optional[int] = None  #: index of the enclosing span event
+    args: Dict[str, object] = field(default_factory=dict)
+    # Kernel-only payload.
+    record: Optional[object] = None  #: the KernelRecord, when category == "kernel"
+    cycles: float = 0.0
+    device: str = ""
+
+    @property
+    def duration_s(self) -> float:
+        return (self.end_s if self.end_s is not None else self.start_s) - self.start_s
+
+
+# -- active-session stack ----------------------------------------------------
+
+_ACTIVE: List["TraceSession"] = []
+
+
+def current_session() -> Optional["TraceSession"]:
+    """The innermost active session, or ``None`` when tracing is off."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+class TraceSession:
+    """Collects spans, kernel events and counters for one traced run.
+
+    Use as a context manager to activate::
+
+        with TraceSession("q3") as session:
+            result = join(r, s)
+        write_chrome_trace(session, "trace.json")
+
+    While active, every :class:`~repro.gpusim.context.GPUContext`
+    created (by any layer) reports into this session.
+    """
+
+    def __init__(self, name: str = "trace"):
+        self.name = name
+        self.events: List[TraceEvent] = []
+        self.metrics = MetricsRegistry()
+        self._stack: List[int] = []
+        self._clock = 0.0
+
+    # -- activation --------------------------------------------------------
+
+    def __enter__(self) -> "TraceSession":
+        _ACTIVE.append(self)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if _ACTIVE and _ACTIVE[-1] is self:
+            _ACTIVE.pop()
+        elif self in _ACTIVE:  # defensive: unbalanced nesting
+            _ACTIVE.remove(self)
+
+    @contextmanager
+    def activated(self) -> Iterator["TraceSession"]:
+        """Re-entrant activation (used by ``execute(..., trace=...)``)."""
+        with self:
+            yield self
+
+    # -- recording ---------------------------------------------------------
+
+    @property
+    def clock_s(self) -> float:
+        """Current simulated time; advances only when kernels land."""
+        return self._clock
+
+    @property
+    def total_seconds(self) -> float:
+        return self._clock
+
+    @contextmanager
+    def span(self, name: str, category: str = "span", **args) -> Iterator[TraceEvent]:
+        """Open a nested span; closes at the clock position on exit."""
+        index = self._open(name, category, args)
+        try:
+            yield self.events[index]
+        finally:
+            self._close(index)
+
+    def _open(self, name: str, category: str, args: Dict[str, object]) -> int:
+        event = TraceEvent(
+            name=name,
+            category=category,
+            start_s=self._clock,
+            parent=self._stack[-1] if self._stack else None,
+            args=dict(args),
+        )
+        self.events.append(event)
+        index = len(self.events) - 1
+        self._stack.append(index)
+        return index
+
+    def _close(self, index: int) -> None:
+        self.events[index].end_s = self._clock
+        if self._stack and self._stack[-1] == index:
+            self._stack.pop()
+        elif index in self._stack:  # defensive: out-of-order close
+            self._stack.remove(index)
+
+    def record_kernel(self, record, device) -> None:
+        """Account one submitted kernel and advance the simulated clock.
+
+        ``record`` is a :class:`~repro.gpusim.kernel.KernelRecord` whose
+        ``phase`` has already been resolved by the timeline; ``device``
+        is the submitting :class:`~repro.gpusim.device.DeviceSpec`.
+        """
+        event = TraceEvent(
+            name=record.stats.name,
+            category=KERNEL,
+            start_s=self._clock,
+            end_s=self._clock + record.seconds,
+            parent=self._stack[-1] if self._stack else None,
+            args={"phase": record.phase},
+            record=record,
+            cycles=record.seconds * device.clock_hz,
+            device=device.name,
+        )
+        self.events.append(event)
+        self._clock += record.seconds
+        self.metrics.record_kernel_stats(record.stats)
+
+    def count(self, name: str, value: float = 1.0) -> None:
+        """Increment a named session counter (e.g. ``partition_passes``)."""
+        self.metrics.increment(name, value)
+
+    # -- queries -----------------------------------------------------------
+
+    def spans(self, category: Optional[str] = None) -> List[Tuple[int, TraceEvent]]:
+        """(index, event) pairs of non-kernel spans, in open order."""
+        return [
+            (i, e)
+            for i, e in enumerate(self.events)
+            if e.category != KERNEL and (category is None or e.category == category)
+        ]
+
+    def kernel_events(self) -> List[TraceEvent]:
+        return [e for e in self.events if e.category == KERNEL]
+
+    def kernels_under(self, span_index: int) -> List[TraceEvent]:
+        """Kernel events whose ancestor chain contains ``span_index``."""
+        selected = []
+        for event in self.events:
+            if event.category != KERNEL:
+                continue
+            parent = event.parent
+            while parent is not None:
+                if parent == span_index:
+                    selected.append(event)
+                    break
+                parent = self.events[parent].parent
+        return selected
+
+    def phase_seconds(self) -> "Dict[str, float]":
+        """Simulated seconds per phase, canonical phases first.
+
+        Re-aggregates the kernel events by their resolved phase label, so
+        for a single-context run this reproduces
+        ``PhaseTimeline.breakdown()`` (asserted by the property suite).
+        """
+        totals: Dict[str, float] = {}
+        for event in self.kernel_events():
+            phase = str(event.args.get("phase") or "other")
+            # Use the exact submitted seconds (clock subtraction could
+            # lose low bits), so single-context sessions reproduce
+            # PhaseTimeline.breakdown() bit-for-bit.
+            totals[phase] = totals.get(phase, 0.0) + event.record.seconds
+        ordered: Dict[str, float] = {}
+        for phase in _CANONICAL_PHASES:
+            if phase in totals:
+                ordered[phase] = totals[phase]
+        for phase, seconds in totals.items():
+            if phase not in ordered:
+                ordered[phase] = seconds
+        return ordered

@@ -127,6 +127,7 @@ def bucket_chain_partition(
 
     conflict = contention_factor(counts)
     payload_bytes = sum(int(p.nbytes) for p in payloads)
+    ctx.count("partition_passes", len(plan_passes(total_bits)))
     for start_bit, num_bits in plan_passes(total_bits):
         del start_bit  # traffic identical per pass
         ctx.submit(

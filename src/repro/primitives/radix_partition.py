@@ -138,6 +138,7 @@ def radix_partition(
     keys_out = keys
     payloads_out = list(payloads)
     pass_plan = plan_passes(total_bits)
+    ctx.count("partition_passes", len(pass_plan))
     for start_bit, num_bits in pass_plan:
         keys_out, payloads_out = radix_partition_pass(
             ctx,

@@ -12,14 +12,17 @@ literally for comparison (the delta is exactly ext02's measurement).
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import List, Optional, Tuple
 
 from ..aggregation.planner import (
     GroupByWorkloadProfile,
+    estimate_group_cardinality,
     make_groupby_algorithm,
     recommend_groupby_algorithm,
 )
 from ..errors import JoinConfigError
+from ..obs.session import TraceSession, current_session
 from ..gpusim.context import GPUContext
 from ..gpusim.device import A100, DeviceSpec
 from ..gpusim.kernel import KernelStats
@@ -39,8 +42,6 @@ from .plan import (
     validate_plan,
 )
 
-import numpy as np
-
 
 def _resolve_join_algorithm(name: str, r: Relation, s: Relation, config: JoinConfig):
     if name != "auto":
@@ -52,9 +53,8 @@ def _resolve_join_algorithm(name: str, r: Relation, s: Relation, config: JoinCon
 def _resolve_groupby_algorithm(name: str, keys, device: DeviceSpec):
     if name != "auto":
         return make_groupby_algorithm(name)
-    sample = keys if keys.size <= 65536 else keys[:: max(1, keys.size // 65536)]
     profile = GroupByWorkloadProfile(
-        rows=int(keys.size), estimated_groups=int(np.unique(sample).size)
+        rows=int(keys.size), estimated_groups=estimate_group_cardinality(keys)
     )
     return make_groupby_algorithm(
         recommend_groupby_algorithm(profile, device=device).algorithm
@@ -73,17 +73,47 @@ class QueryExecutor:
         self.device = device
         self.config = config or JoinConfig()
         self.seed = seed
+        self._session: Optional[TraceSession] = None
 
-    def execute(self, plan: PlanNode, optimize: bool = True) -> QueryResult:
+    def execute(
+        self,
+        plan: PlanNode,
+        optimize: bool = True,
+        trace: Optional[TraceSession] = None,
+    ) -> QueryResult:
+        """Run a validated plan; pass ``trace`` (or activate a
+        :class:`~repro.obs.session.TraceSession`) to capture one span per
+        operator with its kernels nested underneath."""
         validate_plan(plan)
-        trace: List[OperatorTrace] = []
-        output = self._run(plan, trace, optimize)
-        return QueryResult(output=output, trace=trace)
+        self._session = trace if trace is not None else current_session()
+        operator_traces: List[OperatorTrace] = []
+        if self._session is not None:
+            # Activate so the per-operator GPUContexts report into it even
+            # when the session was passed explicitly rather than entered.
+            with self._session.activated():
+                with self._session.span(f"query:{plan.describe()}", category="query"):
+                    output = self._run(plan, operator_traces, optimize)
+        else:
+            output = self._run(plan, operator_traces, optimize)
+        return QueryResult(output=output, trace=operator_traces, session=self._session)
+
+    # -- tracing -------------------------------------------------------------
+
+    @contextmanager
+    def _operator_span(self, name: str, **args):
+        """An operator span on the active session (or a no-op)."""
+        if self._session is None:
+            yield None
+        else:
+            with self._session.span(name, category="operator", **args) as event:
+                yield event
 
     # -- node dispatch -------------------------------------------------------
 
     def _run(self, node: PlanNode, trace: List[OperatorTrace], optimize: bool):
         if isinstance(node, Scan):
+            with self._operator_span(node.describe(), rows=node.relation.num_rows):
+                pass
             trace.append(OperatorTrace(node.describe(), 0.0, node.relation.num_rows))
             return node.relation
         if isinstance(node, Project):
@@ -115,15 +145,16 @@ class QueryExecutor:
         columns += [(c, child.column(c)) for c in node.columns if c != child.key]
         projected = Relation(columns, key=child.key, name=child.name)
         # An unfused projection copies the kept columns once.
-        ctx = GPUContext(device=self.device)
-        ctx.submit(
-            KernelStats(
-                name="project",
-                items=child.num_rows,
-                seq_read_bytes=projected.total_bytes,
-                seq_write_bytes=projected.total_bytes,
+        with self._operator_span(node.describe(), rows=projected.num_rows):
+            ctx = GPUContext(device=self.device)
+            ctx.submit(
+                KernelStats(
+                    name="project",
+                    items=child.num_rows,
+                    seq_read_bytes=projected.total_bytes,
+                    seq_write_bytes=projected.total_bytes,
+                )
             )
-        )
         trace.append(
             OperatorTrace(node.describe(), ctx.elapsed_seconds, projected.num_rows)
         )
@@ -145,10 +176,14 @@ class QueryExecutor:
 
             config = replace(config, projection=tuple(projection))
         algorithm = _resolve_join_algorithm(node.algorithm, left, right, config)
-        result = algorithm.join(left, right, device=self.device, seed=self.seed)
+        with self._operator_span(node.describe()) as span:
+            result = algorithm.join(left, right, device=self.device, seed=self.seed)
         description = f"Join[{result.algorithm}]"
         if projection is not None:
             description += f" <- pushed {pushed_from}"
+        if span is not None:
+            span.name = description
+            span.args.update(rows=result.matches, algorithm=result.algorithm)
         trace.append(
             OperatorTrace(
                 description,
@@ -169,9 +204,13 @@ class QueryExecutor:
             if spec.op != "count"
         }
         algorithm = _resolve_groupby_algorithm(node.algorithm, keys, self.device)
-        result = algorithm.group_by(
-            keys, values, list(node.aggregates), device=self.device, seed=self.seed
-        )
+        with self._operator_span(node.describe()) as span:
+            result = algorithm.group_by(
+                keys, values, list(node.aggregates), device=self.device, seed=self.seed
+            )
+        if span is not None:
+            span.name = f"Aggregate[{result.algorithm}]"
+            span.args.update(rows=result.groups, algorithm=result.algorithm)
         trace.append(
             OperatorTrace(
                 f"Aggregate[{result.algorithm}]",
@@ -195,19 +234,29 @@ class QueryExecutor:
         if node.algorithm != "auto":
             groupby_algorithm = make_groupby_algorithm(node.algorithm)
         pipeline = FusedJoinAggregate(join_algorithm, groupby_algorithm)
-        result = pipeline.run(
-            left,
-            right,
-            group_column=node.group_column,
-            aggregates=list(node.aggregates),
-            device=self.device,
-            seed=self.seed,
-            fuse=True,
+        with self._operator_span("FusedJoinAggregate") as span:
+            result = pipeline.run(
+                left,
+                right,
+                group_column=node.group_column,
+                aggregates=list(node.aggregates),
+                device=self.device,
+                seed=self.seed,
+                fuse=True,
+            )
+        description = (
+            f"FusedJoinAggregate[{result.join_result.algorithm} + "
+            f"{result.groupby_result.algorithm}]"
         )
+        if span is not None:
+            span.name = description
+            span.args.update(
+                rows=result.groupby_result.groups,
+                fusion_credit_s=result.fusion_credit_seconds,
+            )
         trace.append(
             OperatorTrace(
-                f"FusedJoinAggregate[{result.join_result.algorithm} + "
-                f"{result.groupby_result.algorithm}]",
+                description,
                 result.total_seconds,
                 result.groupby_result.groups,
                 extras={"fusion_credit_s": result.fusion_credit_seconds},

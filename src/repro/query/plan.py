@@ -95,6 +95,8 @@ class QueryResult:
     #: the final Relation, or an OrderedDict for an Aggregate root
     output: object
     trace: List[OperatorTrace]
+    #: the TraceSession that captured this run, when tracing was active
+    session: Optional[object] = None
 
     @property
     def total_seconds(self) -> float:

@@ -1,0 +1,194 @@
+"""Property-based invariants of the accounting stack.
+
+For *arbitrary* kernel sequences (hypothesis-generated):
+
+* ``PhaseTimeline.breakdown()`` sums to ``total_seconds()``;
+* merging ``KernelStats`` is order-invariant;
+* cost-model time is monotone in streamed bytes, sector touches and
+  transfer bytes;
+* a ``TraceSession``'s events re-aggregate to exactly the per-phase
+  seconds the timeline reports.
+"""
+
+from dataclasses import replace
+from functools import reduce
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim import A100, CostModel, GPUContext, KernelStats
+from repro.obs import TraceSession
+
+PHASE_LABELS = (None, "transform", "match", "aggregate", "materialize", "custom")
+
+
+@st.composite
+def kernel_stats(draw):
+    touches = draw(st.integers(0, 1 << 20))
+    return KernelStats(
+        name=draw(st.sampled_from(["gather", "scatter", "sort", "partition"])),
+        items=draw(st.integers(0, 1 << 20)),
+        launches=draw(st.integers(0, 4)),
+        seq_read_bytes=draw(st.integers(0, 1 << 30)),
+        seq_write_bytes=draw(st.integers(0, 1 << 30)),
+        random_requests=draw(st.integers(0, 1 << 15)),
+        random_sector_touches=touches,
+        random_cold_sectors=draw(st.integers(0, touches)),
+        locality_footprint_bytes=draw(
+            st.floats(0, 1e9, allow_nan=False, allow_infinity=False)
+        ),
+        host_transfer_bytes=draw(st.integers(0, 1 << 27)),
+        atomic_ops=draw(st.integers(0, 1 << 20)),
+        atomic_conflict_factor=draw(
+            st.floats(1.0, 8.0, allow_nan=False, allow_infinity=False)
+        ),
+    )
+
+
+kernel_sequences = st.lists(
+    st.tuples(kernel_stats(), st.sampled_from(PHASE_LABELS)), min_size=0, max_size=20
+)
+
+
+def _submit_all(ctx, sequence):
+    for stats, phase in sequence:
+        ctx.submit(stats, phase=phase)
+
+
+class TestTimelineInvariants:
+    @given(kernel_sequences)
+    @settings(max_examples=60, deadline=None)
+    def test_breakdown_sums_to_total_seconds(self, sequence):
+        ctx = GPUContext(device=A100)
+        _submit_all(ctx, sequence)
+        breakdown = ctx.timeline.breakdown()
+        assert sum(breakdown.values()) == pytest.approx(
+            ctx.timeline.total_seconds(), rel=1e-12, abs=1e-18
+        )
+        # phase_seconds and breakdown are the same numbers.
+        assert dict(breakdown) == ctx.timeline.phase_seconds()
+
+    @given(kernel_sequences)
+    @settings(max_examples=60, deadline=None)
+    def test_kernel_count_and_records_consistent(self, sequence):
+        ctx = GPUContext(device=A100)
+        _submit_all(ctx, sequence)
+        assert ctx.timeline.kernel_count() == len(sequence)
+        assert len(ctx.timeline.records()) == len(sequence)
+
+
+class TestMergeInvariants:
+    @given(st.lists(kernel_stats(), min_size=1, max_size=10))
+    @settings(max_examples=60, deadline=None)
+    def test_merged_stats_order_invariant(self, stats_list):
+        def fold(items):
+            return reduce(
+                lambda a, b: a.merged_with(b, name="merged"),
+                items[1:],
+                replace(items[0], name="merged"),
+            )
+
+        forward = fold(stats_list)
+        backward = fold(list(reversed(stats_list)))
+        for field_name in (
+            "items",
+            "launches",
+            "seq_read_bytes",
+            "seq_write_bytes",
+            "random_requests",
+            "random_sector_touches",
+            "random_cold_sectors",
+            "host_transfer_bytes",
+            "atomic_ops",
+        ):
+            assert getattr(forward, field_name) == getattr(backward, field_name)
+        assert forward.locality_footprint_bytes == pytest.approx(
+            backward.locality_footprint_bytes, rel=1e-9, abs=1e-12
+        )
+        assert forward.atomic_conflict_factor == pytest.approx(
+            backward.atomic_conflict_factor, rel=1e-9, abs=1e-12
+        )
+
+    @given(kernel_stats(), kernel_stats())
+    @settings(max_examples=60, deadline=None)
+    def test_merge_preserves_validity(self, a, b):
+        merged = a.merged_with(b)
+        merged.validate()
+
+
+class TestCostMonotonicity:
+    @given(kernel_stats(), st.integers(1, 1 << 30))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_seq_bytes(self, stats, extra):
+        cost = CostModel(A100)
+        more_read = replace(stats, seq_read_bytes=stats.seq_read_bytes + extra)
+        more_write = replace(stats, seq_write_bytes=stats.seq_write_bytes + extra)
+        assert cost.time(more_read) >= cost.time(stats)
+        assert cost.time(more_write) >= cost.time(stats)
+
+    @given(kernel_stats(), st.integers(1, 1 << 20))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_warm_sector_touches(self, stats, extra):
+        """More repeated (warm) sector touches never get cheaper."""
+        cost = CostModel(A100)
+        more = replace(
+            stats, random_sector_touches=stats.random_sector_touches + extra
+        )
+        assert cost.time(more) >= cost.time(stats)
+
+    @given(kernel_stats(), st.integers(1, 1 << 27))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_transfer_bytes(self, stats, extra):
+        cost = CostModel(A100)
+        more = replace(
+            stats, host_transfer_bytes=stats.host_transfer_bytes + extra
+        )
+        assert cost.time(more) >= cost.time(stats)
+
+    @given(kernel_stats())
+    @settings(max_examples=60, deadline=None)
+    def test_breakdown_components_are_nonnegative_and_sum(self, stats):
+        cost = CostModel(A100)
+        parts = cost.breakdown(stats)
+        for component in (
+            parts.launch,
+            parts.sequential,
+            parts.random,
+            parts.atomic,
+            parts.compute,
+            parts.transfer,
+        ):
+            assert component >= 0.0
+        assert cost.time(stats) == pytest.approx(parts.total)
+
+
+class TestTraceReaggregation:
+    @given(kernel_sequences)
+    @settings(max_examples=60, deadline=None)
+    def test_session_phase_seconds_equal_breakdown(self, sequence):
+        """The span tree re-aggregates to the timeline's exact numbers."""
+        with TraceSession() as session:
+            ctx = GPUContext(device=A100)
+            _submit_all(ctx, sequence)
+        assert session.phase_seconds() == dict(ctx.timeline.breakdown())
+
+    @given(kernel_sequences)
+    @settings(max_examples=60, deadline=None)
+    def test_session_clock_equals_total_seconds(self, sequence):
+        with TraceSession() as session:
+            ctx = GPUContext(device=A100)
+            _submit_all(ctx, sequence)
+        assert session.total_seconds == pytest.approx(
+            ctx.timeline.total_seconds(), rel=1e-12, abs=1e-18
+        )
+
+    @given(kernel_sequences, st.sampled_from(["transform", "match", "materialize"]))
+    @settings(max_examples=40, deadline=None)
+    def test_phase_blocks_attribute_like_timeline(self, sequence, block_phase):
+        """ctx.phase(...) blocks and per-submit labels agree end to end."""
+        with TraceSession() as session:
+            ctx = GPUContext(device=A100)
+            with ctx.phase(block_phase):
+                _submit_all(ctx, sequence)
+        assert session.phase_seconds() == dict(ctx.timeline.breakdown())

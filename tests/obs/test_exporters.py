@@ -1,0 +1,171 @@
+"""Chrome-trace JSON, counter CSV and per-operator report exporters."""
+
+import csv
+import json
+
+import numpy as np
+import pytest
+
+from repro import AggSpec, Relation, TraceSession, join
+from repro.obs import (
+    counters_csv,
+    export_session,
+    per_operator_report,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+from repro.query import Aggregate, Join, Scan, execute
+
+
+@pytest.fixture
+def traced_query():
+    rng = np.random.default_rng(3)
+    customer = Relation.from_key_payloads(
+        rng.permutation(1024).astype(np.int32),
+        [rng.integers(0, 25, 1024).astype(np.int32)],
+        payload_prefix="c",
+        name="customer",
+    )
+    orders = Relation.from_key_payloads(
+        rng.integers(0, 1024, 4096).astype(np.int32),
+        [rng.integers(0, 100, 4096).astype(np.int32)] * 2,
+        payload_prefix="o",
+        name="orders",
+    )
+    plan = Aggregate(
+        Join(Scan(customer), Scan(orders)),
+        group_column="key",
+        aggregates=(AggSpec("o1", "sum"),),
+    )
+    with TraceSession("q") as session:
+        result = execute(plan)
+    return session, result
+
+
+class TestChromeTrace:
+    def test_round_trips_through_json(self, traced_query):
+        session, _ = traced_query
+        text = json.dumps(to_chrome_trace(session))
+        doc = json.loads(text)
+        assert doc["traceEvents"]
+
+    def test_event_schema(self, traced_query):
+        session, _ = traced_query
+        doc = to_chrome_trace(session)
+        for event in doc["traceEvents"]:
+            assert "ph" in event and "name" in event and "pid" in event
+            if event["ph"] == "X":
+                assert event["ts"] >= 0
+                assert event["dur"] >= 0
+
+    def test_kernel_events_carry_traffic_args(self, traced_query):
+        session, _ = traced_query
+        doc = to_chrome_trace(session)
+        kernels = [e for e in doc["traceEvents"] if e.get("cat") == "kernel"]
+        assert kernels
+        for event in kernels:
+            assert "seq_read_bytes" in event["args"]
+            assert "phase" in event["args"]
+
+    def test_durations_match_phase_breakdown(self, traced_query):
+        """Per-phase sums of the exported kernels == the session's view."""
+        session, _ = traced_query
+        doc = to_chrome_trace(session)
+        sums = {}
+        for event in doc["traceEvents"]:
+            if event.get("cat") != "kernel":
+                continue
+            phase = event["args"]["phase"]
+            sums[phase] = sums.get(phase, 0.0) + event["dur"] / 1e6
+        expected = session.phase_seconds()
+        assert set(sums) == set(expected)
+        for phase, seconds in expected.items():
+            assert sums[phase] == pytest.approx(seconds, rel=1e-9)
+
+    def test_durations_match_single_context_breakdown(self):
+        """Acceptance: trace JSON phases == PhaseTimeline.breakdown()."""
+        rng = np.random.default_rng(11)
+        r = Relation.from_key_payloads(
+            np.arange(512, dtype=np.int32),
+            [rng.integers(0, 9, 512).astype(np.int32)] * 2,
+            payload_prefix="r",
+        )
+        s = Relation.from_key_payloads(
+            rng.integers(0, 512, 2048).astype(np.int32),
+            [rng.integers(0, 9, 2048).astype(np.int32)] * 2,
+            payload_prefix="s",
+        )
+        with TraceSession() as session:
+            result = join(r, s, algorithm="SMJ-OM", seed=5)
+        doc = to_chrome_trace(session)
+        sums = {}
+        for event in doc["traceEvents"]:
+            if event.get("cat") == "kernel":
+                phase = event["args"]["phase"]
+                sums[phase] = sums.get(phase, 0.0) + event["dur"] / 1e6
+        assert set(sums) == set(result.phase_seconds)
+        for phase, seconds in result.phase_seconds.items():
+            assert sums[phase] == pytest.approx(seconds, rel=1e-9)
+
+    def test_write_creates_parent_dirs(self, traced_query, tmp_path):
+        session, _ = traced_query
+        path = write_chrome_trace(session, tmp_path / "deep" / "trace.json")
+        assert json.loads(path.read_text())["traceEvents"]
+
+
+class TestCountersCsv:
+    def test_csv_parses_and_covers_counters(self, traced_query):
+        session, _ = traced_query
+        rows = list(csv.reader(counters_csv(session).splitlines()))
+        assert rows[0] == ["counter", "value"]
+        names = {row[0] for row in rows[1:]}
+        assert {"seq_read_bytes", "bytes_streamed", "sectors_per_request"} <= names
+        for row in rows[1:]:
+            float(row[1])  # every value must be numeric
+
+
+class TestReport:
+    def test_report_names_operators(self, traced_query):
+        session, result = traced_query
+        text = per_operator_report(session)
+        for op in result.trace:
+            assert op.description.split(" <- ")[0] in text
+
+    def test_report_contains_table4_layout(self, traced_query):
+        session, _ = traced_query
+        text = per_operator_report(session)
+        for label in (
+            "Total cycles",
+            "Number of warp instructions",
+            "Avg. cycles per warp instruction",
+            "Memory reads (bytes)",
+            "Avg. sectors read per load request",
+        ):
+            assert label in text
+
+    def test_report_falls_back_to_algorithm_spans(self):
+        rng = np.random.default_rng(1)
+        r = Relation.from_key_payloads(
+            np.arange(128, dtype=np.int32),
+            [rng.integers(0, 9, 128).astype(np.int32)],
+            payload_prefix="r",
+        )
+        s = Relation.from_key_payloads(
+            rng.integers(0, 128, 256).astype(np.int32),
+            [rng.integers(0, 9, 256).astype(np.int32)],
+            payload_prefix="s",
+        )
+        with TraceSession() as session:
+            join(r, s, algorithm="NPJ")
+        text = per_operator_report(session)
+        assert "join:NPJ" in text
+
+
+class TestExportSession:
+    def test_writes_artifact_triple(self, traced_query, tmp_path):
+        session, _ = traced_query
+        paths = export_session(session, tmp_path)
+        names = {p.name for p in paths}
+        assert names == {"q.trace.json", "q.counters.csv", "q.report.txt"}
+        for path in paths:
+            assert path.exists() and path.stat().st_size > 0

@@ -1,0 +1,158 @@
+"""TraceSession mechanics: activation, nesting, clock, counters."""
+
+import numpy as np
+import pytest
+
+from repro import Relation, join
+from repro.gpusim import A100, GPUContext, KernelStats
+from repro.obs import TraceSession, current_session
+from repro.obs.session import KERNEL
+
+
+def _submit(ctx, name="k", seconds_worth=1 << 20, phase=None):
+    return ctx.submit(
+        KernelStats(name=name, items=64, seq_read_bytes=seconds_worth), phase=phase
+    )
+
+
+class TestActivation:
+    def test_no_session_by_default(self):
+        assert current_session() is None
+        ctx = GPUContext(device=A100)
+        assert ctx.trace is None
+
+    def test_context_picks_up_active_session(self):
+        with TraceSession() as session:
+            assert current_session() is session
+            ctx = GPUContext(device=A100)
+            assert ctx.trace is session
+        assert current_session() is None
+
+    def test_nested_sessions_innermost_wins(self):
+        with TraceSession("outer") as outer:
+            with TraceSession("inner") as inner:
+                assert current_session() is inner
+            assert current_session() is outer
+
+    def test_explicit_trace_overrides(self):
+        explicit = TraceSession("explicit")
+        with TraceSession("active"):
+            ctx = GPUContext(device=A100, trace=explicit)
+            assert ctx.trace is explicit
+
+    def test_fork_propagates_trace(self):
+        session = TraceSession()
+        ctx = GPUContext(device=A100, trace=session)
+        assert ctx.fork().trace is session
+
+
+class TestRecording:
+    def test_kernel_events_advance_clock(self):
+        with TraceSession() as session:
+            ctx = GPUContext(device=A100)
+            s1 = _submit(ctx)
+            s2 = _submit(ctx)
+        events = session.kernel_events()
+        assert len(events) == 2
+        assert session.total_seconds == pytest.approx(s1 + s2)
+        assert events[0].start_s == 0.0
+        assert events[1].start_s == pytest.approx(s1)
+
+    def test_spans_nest_and_close_on_clock(self):
+        with TraceSession() as session:
+            ctx = GPUContext(device=A100)
+            with session.span("outer", category="operator") as outer:
+                with ctx.phase("transform"):
+                    _submit(ctx)
+        assert outer.end_s == session.total_seconds
+        phases = [e for _, e in session.spans(category="phase")]
+        assert [p.name for p in phases] == ["transform"]
+        kernel = session.kernel_events()[0]
+        # kernel -> phase span -> operator span
+        assert session.events[kernel.parent].name == "transform"
+        assert session.events[session.events[kernel.parent].parent] is outer
+
+    def test_kernels_under_collects_descendants(self):
+        with TraceSession() as session:
+            ctx = GPUContext(device=A100)
+            with session.span("op", category="operator"):
+                with ctx.phase("match"):
+                    _submit(ctx)
+                _submit(ctx)
+            _submit(ctx)  # outside the operator span
+        (op_index, _), = session.spans(category="operator")
+        assert len(session.kernels_under(op_index)) == 2
+        assert len(session.kernel_events()) == 3
+
+    def test_counters_accumulate_from_stats(self):
+        with TraceSession() as session:
+            ctx = GPUContext(device=A100)
+            ctx.submit(KernelStats(name="a", items=10, seq_read_bytes=100))
+            ctx.submit(KernelStats(name="b", items=5, seq_write_bytes=50))
+        counters = session.metrics.as_dict()
+        assert counters["items"] == 15
+        assert counters["seq_read_bytes"] == 100
+        assert counters["seq_write_bytes"] == 50
+        assert counters["bytes_streamed"] == 150
+        assert counters["kernel_launches"] == 2
+
+    def test_count_noop_without_session(self):
+        ctx = GPUContext(device=A100)
+        ctx.count("anything", 5)  # must not raise
+
+    def test_phase_seconds_matches_breakdown_exactly(self):
+        with TraceSession() as session:
+            ctx = GPUContext(device=A100)
+            with ctx.phase("transform"):
+                _submit(ctx)
+                _submit(ctx)
+            _submit(ctx, phase="match")
+            _submit(ctx)  # -> "other"
+        assert session.phase_seconds() == dict(ctx.timeline.breakdown())
+
+
+class TestZeroOverheadDisabled:
+    def test_untraced_run_records_nothing(self):
+        rng = np.random.default_rng(0)
+        r = Relation.from_key_payloads(
+            np.arange(256, dtype=np.int32),
+            [rng.integers(0, 9, 256).astype(np.int32)],
+            payload_prefix="r",
+        )
+        s = Relation.from_key_payloads(
+            rng.integers(0, 256, 512).astype(np.int32),
+            [rng.integers(0, 9, 512).astype(np.int32)],
+            payload_prefix="s",
+        )
+        before = join(r, s, algorithm="PHJ-OM", seed=1)
+        with TraceSession() as session:
+            traced = join(r, s, algorithm="PHJ-OM", seed=1)
+        after = join(r, s, algorithm="PHJ-OM", seed=1)
+        # Identical simulated results with tracing on or off.
+        assert before.phase_seconds == traced.phase_seconds == after.phase_seconds
+        assert before.kernel_count == traced.kernel_count
+        assert len(session.kernel_events()) == traced.kernel_count
+        assert session.events  # the traced run did capture spans
+
+
+class TestSessionQueries:
+    def test_span_categories(self):
+        with TraceSession() as session:
+            with session.span("q", category="query"):
+                with session.span("op", category="operator"):
+                    pass
+        assert [e.name for _, e in session.spans(category="query")] == ["q"]
+        assert [e.name for _, e in session.spans()] == ["q", "op"]
+        assert session.kernel_events() == []
+
+    def test_kernel_event_payload(self):
+        with TraceSession() as session:
+            ctx = GPUContext(device=A100)
+            seconds = _submit(ctx, name="gather:test", phase="materialize")
+        event = session.kernel_events()[0]
+        assert event.category == KERNEL
+        assert event.name == "gather:test"
+        assert event.args["phase"] == "materialize"
+        assert event.device == A100.name
+        assert event.cycles == pytest.approx(seconds * A100.clock_hz)
+        assert event.record.stats.items == 64

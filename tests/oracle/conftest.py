@@ -1,0 +1,91 @@
+"""Shared machinery for the differential oracle suite.
+
+Every algorithm in the library is checked against the *same* pure-numpy
+oracle (:func:`repro.relational.reference_join` /
+:func:`repro.relational.reference_groupby`) on a randomized workload
+sweep.  The sweep is generated once, deterministically, from a fixed
+seed so failures reproduce; it varies dtypes, match ratios, zipf skew
+and payload widths (including the 1-payload narrow path).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.relational import Relation
+from repro.workloads import GroupByWorkloadSpec, JoinWorkloadSpec
+
+#: Join algorithms constructed by name through the planner factory.
+JOIN_NAMES = ["SMJ-UM", "SMJ-OM", "PHJ-UM", "PHJ-OM", "NPJ"]
+
+#: Group-by strategies, including the gfur write-pattern variants.
+GROUPBY_NAMES = ["HASH-AGG", "SORT-AGG", "SORT-AGG/gfur", "PART-AGG", "PART-AGG/gfur"]
+
+
+def _random_join_specs(count: int, seed: int = 20250806):
+    """A deterministic sweep of randomized join workload specs."""
+    rng = np.random.default_rng(seed)
+    specs = {}
+    for i in range(count):
+        key_type = rng.choice(["int32", "int64"])
+        match_ratio = float(rng.choice([0.0, 0.25, 0.5, 1.0]))
+        zipf = float(rng.choice([0.0, 0.0, 0.75, 1.5]))
+        # Every third spec is narrow (one payload per side) so the
+        # specialised narrow execution path is part of the sweep.
+        narrow = i % 3 == 0
+        specs[f"rand{i}_{key_type}_m{match_ratio}_z{zipf}" + ("_narrow" if narrow else "")] = (
+            JoinWorkloadSpec(
+                r_rows=int(rng.integers(64, 2048)),
+                s_rows=int(rng.integers(64, 4096)),
+                r_payload_columns=1 if narrow else int(rng.integers(2, 4)),
+                s_payload_columns=1 if narrow else int(rng.integers(2, 4)),
+                key_type=key_type,
+                payload_type=key_type,
+                match_ratio=match_ratio,
+                zipf_factor=zipf,
+                seed=int(rng.integers(0, 2**31)),
+            )
+        )
+    return specs
+
+
+def _random_groupby_specs(count: int, seed: int = 20250807):
+    rng = np.random.default_rng(seed)
+    specs = {}
+    for i in range(count):
+        key_type = rng.choice(["int32", "int64"])
+        zipf = float(rng.choice([0.0, 0.0, 1.0, 2.0]))
+        rows = int(rng.integers(32, 4096))
+        specs[f"rand{i}_{key_type}_z{zipf}"] = GroupByWorkloadSpec(
+            rows=rows,
+            groups=int(rng.integers(1, max(2, rows))),
+            value_columns=int(rng.integers(1, 4)),
+            key_type=key_type,
+            value_type=key_type,
+            zipf_factor=zipf,
+            seed=int(rng.integers(0, 2**31)),
+        )
+    return specs
+
+
+JOIN_SPECS = _random_join_specs(9)
+GROUPBY_SPECS = _random_groupby_specs(9)
+
+
+def relation_from_keys(keys, payloads=2, prefix="r", seed=0):
+    """Build a relation with *payloads* random payload columns."""
+    keys = np.asarray(keys)
+    rng = np.random.default_rng(seed)
+    return Relation.from_key_payloads(
+        keys,
+        [rng.integers(0, 100, keys.size).astype(keys.dtype) for _ in range(payloads)],
+        payload_prefix=prefix,
+    )
+
+
+def empty_relation(payloads=2, prefix="r", dtype=np.int32):
+    return Relation.from_key_payloads(
+        np.empty(0, dtype=dtype),
+        [np.empty(0, dtype=dtype) for _ in range(payloads)],
+        payload_prefix=prefix,
+    )

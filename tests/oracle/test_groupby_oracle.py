@@ -1,0 +1,96 @@
+"""Differential testing: every group-by strategy vs the numpy oracle.
+
+The oracle is :func:`repro.relational.reference_groupby`.  Each
+randomized workload is checked under every aggregate operator; integer
+aggregates must match exactly, ``mean`` to float tolerance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.aggregation import AggSpec, make_groupby_algorithm
+from repro.relational import reference_groupby
+from repro.workloads import generate_groupby_workload
+
+from .conftest import GROUPBY_NAMES, GROUPBY_SPECS
+
+OPS = ["sum", "count", "min", "max", "mean"]
+
+
+def _check(strategy, keys, values, ops, seed=0):
+    """Run *strategy* with one AggSpec per (column, op) and diff vs oracle."""
+    specs = [AggSpec(column, op) for column, op in ops]
+    result = make_groupby_algorithm(strategy).group_by(keys, values, specs, seed=seed)
+    for column, op in ops:
+        expected = reference_groupby(keys, values, {column: op})
+        assert np.array_equal(result.output["group_key"], expected["group_key"])
+        name = f"{op}_{column}"
+        if op == "mean":
+            np.testing.assert_allclose(result.output[name], expected[name])
+        else:
+            assert np.array_equal(result.output[name], expected[name]), name
+    return result
+
+
+@pytest.mark.parametrize("strategy", GROUPBY_NAMES)
+@pytest.mark.parametrize("spec_name", sorted(GROUPBY_SPECS), ids=str)
+def test_randomized_sweep_matches_oracle(strategy, spec_name):
+    keys, values = generate_groupby_workload(GROUPBY_SPECS[spec_name])
+    ops = [("v1", op) for op in OPS]
+    result = _check(strategy, keys, values, ops, seed=3)
+    assert result.rows == keys.size
+    assert result.groups == np.unique(keys).size
+
+
+@pytest.mark.parametrize("strategy", GROUPBY_NAMES)
+def test_multi_column_mixed_ops(strategy):
+    rng = np.random.default_rng(21)
+    keys = rng.integers(0, 97, 3000).astype(np.int32)
+    values = {
+        "a": rng.integers(-50, 50, 3000).astype(np.int32),
+        "b": rng.integers(0, 10**6, 3000).astype(np.int64),
+    }
+    _check(strategy, keys, values, [("a", "sum"), ("a", "min"), ("b", "max"), ("b", "mean")])
+
+
+class TestEdgeCases:
+    @pytest.mark.parametrize("strategy", GROUPBY_NAMES)
+    def test_all_duplicate_keys(self, strategy):
+        keys = np.full(500, 13, dtype=np.int32)
+        values = {"v": np.arange(500, dtype=np.int32)}
+        result = _check(strategy, keys, values, [("v", op) for op in OPS])
+        assert result.groups == 1
+
+    @pytest.mark.parametrize("strategy", GROUPBY_NAMES)
+    def test_all_distinct_keys(self, strategy):
+        rng = np.random.default_rng(22)
+        keys = rng.permutation(700).astype(np.int64)
+        values = {"v": rng.integers(0, 9, 700).astype(np.int64)}
+        result = _check(strategy, keys, values, [("v", "sum"), ("v", "count")])
+        assert result.groups == 700
+
+    @pytest.mark.parametrize("strategy", GROUPBY_NAMES)
+    def test_heavy_zipf_skew(self, strategy):
+        """One dominant group plus a long tail (atomic-contention regime)."""
+        rng = np.random.default_rng(23)
+        keys = np.concatenate(
+            [np.zeros(2000, dtype=np.int32), rng.integers(1, 400, 200).astype(np.int32)]
+        )
+        values = {"v": rng.integers(0, 100, keys.size).astype(np.int32)}
+        _check(strategy, keys, values, [("v", op) for op in OPS])
+
+    @pytest.mark.parametrize("strategy", GROUPBY_NAMES)
+    def test_two_rows_same_group(self, strategy):
+        keys = np.array([9, 9], dtype=np.int32)
+        values = {"v": np.array([1, 5], dtype=np.int32)}
+        result = _check(strategy, keys, values, [("v", "mean"), ("v", "max")])
+        assert result.groups == 1
+
+    @pytest.mark.parametrize("strategy", GROUPBY_NAMES)
+    def test_sparse_key_domain(self, strategy):
+        """Keys far apart in value (defeats dense-array shortcuts)."""
+        rng = np.random.default_rng(24)
+        domain = np.array([0, 1 << 10, 1 << 20, (1 << 31) - 1], dtype=np.int64)
+        keys = domain[rng.integers(0, domain.size, 1000)]
+        values = {"v": rng.integers(0, 100, 1000).astype(np.int64)}
+        _check(strategy, keys, values, [("v", "sum"), ("v", "min"), ("v", "max")])
