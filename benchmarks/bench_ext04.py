@@ -1,0 +1,16 @@
+"""ext04: scale-out sweep across simulated devices.
+
+Regenerates the experiment table into ``bench_results/ext04.txt``.
+Run: ``pytest benchmarks/bench_ext04.py --benchmark-only -s``
+"""
+
+from repro.bench.experiments import ext04
+
+from _common import SWEEP_SCALE, run_and_report
+
+
+def test_ext04(benchmark):
+    result = run_and_report(benchmark, ext04.run, SWEEP_SCALE)
+    assert result.findings["results_bit_identical_all_points"] == 1.0
+    assert result.findings["one_device_cluster_matches_single"] == 1.0
+    assert result.findings["join_nvlink_speedup_at_max"] > 1.0

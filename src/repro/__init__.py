@@ -18,6 +18,16 @@ from .aggregation import (
     recommend_groupby_algorithm,
 )
 from .api import group_by, join
+from .cluster import (
+    ClusterContext,
+    ClusterSpec,
+    InterconnectSpec,
+    NVLINK_MESH,
+    PCIE_HOST,
+    sharded_group_by,
+    sharded_join,
+    write_cluster_trace,
+)
 from .errors import (
     AggregationConfigError,
     DeviceOutOfMemoryError,
@@ -58,8 +68,11 @@ __all__ = [
     "AggregationConfigError",
     "CPURadixJoin",
     "CPU_SERVER",
+    "ClusterContext",
+    "ClusterSpec",
     "DeviceOutOfMemoryError",
     "DeviceSpec",
+    "InterconnectSpec",
     "DictionaryEncoder",
     "GPUContext",
     "GROUPBY_ALGORITHMS",
@@ -71,7 +84,9 @@ __all__ = [
     "JoinConfigError",
     "JoinPipeline",
     "JoinResult",
+    "NVLINK_MESH",
     "NonPartitionedHashJoin",
+    "PCIE_HOST",
     "PartitionedGroupBy",
     "PartitionedHashJoin",
     "PartitionedHashJoinUM",
@@ -91,7 +106,10 @@ __all__ = [
     "reference_groupby",
     "reference_join",
     "scaled_device",
+    "sharded_group_by",
+    "sharded_join",
     "to_chrome_trace",
     "write_chrome_trace",
+    "write_cluster_trace",
     "write_counters_csv",
 ]

@@ -41,6 +41,12 @@ def estimate_group_cardinality(
     cheap lower bound that is exact for inputs of up to ``sample_limit``
     rows and deterministic (stride, not random sample) above it.  The
     single estimator behind every ``algorithm="auto"`` group-by path.
+
+    >>> import numpy as np
+    >>> estimate_group_cardinality(np.array([1, 1, 2, 3]))
+    3
+    >>> estimate_group_cardinality(np.zeros(1 << 20, dtype=np.int32))
+    1
     """
     if keys.size <= sample_limit:
         return int(np.unique(keys).size)
@@ -71,7 +77,15 @@ class Recommendation:
 def recommend_groupby_algorithm(
     profile: GroupByWorkloadProfile, device: DeviceSpec = A100
 ) -> Recommendation:
-    """Pick the best aggregation strategy for a workload on a device."""
+    """Pick the best aggregation strategy for a workload on a device.
+
+    >>> few = GroupByWorkloadProfile(rows=1 << 16, estimated_groups=64)
+    >>> recommend_groupby_algorithm(few).algorithm
+    'HASH-AGG'
+    >>> many = GroupByWorkloadProfile(rows=1 << 24, estimated_groups=1 << 21)
+    >>> recommend_groupby_algorithm(many).algorithm
+    'PART-AGG'
+    """
     reasons: List[str] = []
     table_bytes = profile.estimated_groups * SLOT_BYTES * 2
     if table_bytes <= device.shared_mem_bytes:
@@ -111,7 +125,11 @@ def recommend_groupby_algorithm(
 
 
 def make_groupby_algorithm(name: str, config=None):
-    """Instantiate a group-by strategy by name."""
+    """Instantiate a group-by strategy by name.
+
+    >>> make_groupby_algorithm("PART-AGG").name
+    'PART-AGG'
+    """
     from .hash_groupby import HashGroupBy
     from .partitioned_groupby import PartitionedGroupBy
     from .sort_groupby import SortGroupBy

@@ -8,8 +8,10 @@ Most users need three calls::
     result = join(r, s, algorithm="PHJ-OM")  # force one
     agg = group_by(keys, {"v": values}, {"v": "sum"})
 
-Lower-level control (explicit contexts, configs, devices, per-phase
-inspection) lives in ``repro.joins`` and ``repro.aggregation``.
+Scale-out across simulated devices is one keyword away
+(``join(r, s, shards=4)``); lower-level control (explicit contexts,
+configs, devices, per-phase inspection, cluster topologies) lives in
+``repro.joins``, ``repro.aggregation`` and ``repro.cluster``.
 """
 
 from __future__ import annotations
@@ -50,6 +52,8 @@ def join(
     match_ratio: Optional[float] = None,
     zipf_factor: float = 0.0,
     seed: Optional[int] = None,
+    shards: int = 1,
+    interconnect="nvlink-mesh",
 ) -> JoinResult:
     """Inner equi-join ``R ⋈ S`` on each relation's key column.
 
@@ -59,8 +63,42 @@ def join(
     ``zipf_factor`` estimates for a better decision).  Returns a
     :class:`~repro.joins.base.JoinResult` whose ``output`` is the real
     materialized join and whose times/memory are simulated.
+
+    ``shards=N`` with ``N > 1`` runs the join sharded across a simulated
+    N-device cluster over *interconnect* (``"nvlink-mesh"``,
+    ``"pcie-host"``, or an
+    :class:`~repro.cluster.topology.InterconnectSpec`), returning a
+    :class:`~repro.cluster.sharded.ShardedJoinResult` with the same
+    rows and the cluster-clock timing.
+
+    >>> import numpy as np
+    >>> r = Relation.from_key_payloads(
+    ...     np.arange(100, dtype=np.int32),
+    ...     [np.arange(100, dtype=np.int32)], payload_prefix="r")
+    >>> s = Relation.from_key_payloads(
+    ...     np.arange(100, dtype=np.int32).repeat(3),
+    ...     [np.arange(300, dtype=np.int32)], payload_prefix="s")
+    >>> result = join(r, s, algorithm="PHJ-OM", seed=0)
+    >>> result.algorithm, result.matches
+    ('PHJ-OM', 300)
+    >>> sharded = join(r, s, algorithm="PHJ-OM", seed=0, shards=2)
+    >>> sharded.matches, sharded.num_devices
+    (300, 2)
     """
     spec = _resolve_device(device)
+    if shards > 1:
+        from .cluster.sharded import sharded_join
+
+        return sharded_join(
+            r,
+            s,
+            algorithm=algorithm,
+            device=spec,
+            num_devices=shards,
+            interconnect=interconnect,
+            config=config,
+            seed=seed,
+        )
     if algorithm == "auto":
         profile = JoinWorkloadProfile.from_relations(
             r,
@@ -95,6 +133,8 @@ def group_by(
     config: Optional[GroupByConfig] = None,
     zipf_factor: float = 0.0,
     seed: Optional[int] = None,
+    shards: int = 1,
+    interconnect="nvlink-mesh",
 ) -> GroupByResult:
     """Grouped aggregation of *values* by *keys*.
 
@@ -103,9 +143,38 @@ def group_by(
     :class:`AggSpec` / ``(column, op)`` pairs.  With ``algorithm="auto"``
     the planner picks hash, sort, or partitioned aggregation from the
     estimated group cardinality.
+
+    ``shards=N`` with ``N > 1`` shards the aggregation across a
+    simulated N-device cluster (groups are shuffled whole, so results
+    stay bit-identical), returning a
+    :class:`~repro.cluster.sharded.ShardedGroupByResult`.
+
+    >>> import numpy as np
+    >>> keys = np.array([3, 1, 3, 1, 3], dtype=np.int32)
+    >>> agg = group_by(keys, {"v": np.arange(5, dtype=np.int32)}, {"v": "sum"})
+    >>> agg.output["group_key"].tolist(), agg.output["sum_v"].tolist()
+    ([1, 3], [4, 6])
+    >>> sharded = group_by(
+    ...     keys, {"v": np.arange(5, dtype=np.int32)}, {"v": "sum"}, shards=2)
+    >>> sharded.output["sum_v"].tolist()
+    [4, 6]
     """
     spec = _resolve_device(device)
     agg_specs = _coerce_aggregates(aggregates)
+    if shards > 1:
+        from .cluster.sharded import sharded_group_by
+
+        return sharded_group_by(
+            keys,
+            values,
+            agg_specs,
+            algorithm=algorithm,
+            device=spec,
+            num_devices=shards,
+            interconnect=interconnect,
+            config=config,
+            seed=seed,
+        )
     if algorithm == "auto":
         profile = GroupByWorkloadProfile(
             rows=int(keys.size),

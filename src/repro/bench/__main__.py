@@ -12,6 +12,7 @@ Rendered tables are printed and saved under ``bench_results/``.
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 
@@ -38,6 +39,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--seed", type=int, default=0, help="workload generator seed"
+    )
+    parser.add_argument(
+        "--devices",
+        type=int,
+        nargs="+",
+        metavar="N",
+        default=None,
+        help=(
+            "device counts for scale-out experiments (e.g. --devices 1 2 4 8); "
+            "forwarded to experiments that take a 'devices' knob (ext04)"
+        ),
     )
     parser.add_argument(
         "--trace",
@@ -75,13 +87,18 @@ def main(argv=None) -> int:
     for name in names:
         started = time.time()
         runner = ALL_EXPERIMENTS[name]
+        kwargs = {"scale": args.scale, "seed": args.seed}
+        # Forward scale-out knobs only to runners that take them.
+        params = inspect.signature(runner).parameters
+        if args.devices is not None and "devices" in params:
+            kwargs["devices"] = tuple(args.devices)
+        if args.trace and "trace_dir" in params:
+            kwargs["trace_dir"] = args.trace
         if args.trace:
-            result, _ = run_traced(
-                lambda: runner(scale=args.scale, seed=args.seed), name, args.trace
-            )
+            result, _ = run_traced(lambda: runner(**kwargs), name, args.trace)
             print(f"[{name}] trace -> {args.trace}/{name}.trace.json")
         else:
-            result = runner(scale=args.scale, seed=args.seed)
+            result = runner(**kwargs)
         path = print_and_save(result)
         print(f"[{name}] {time.time() - started:.1f}s wall -> {path}")
     return 0

@@ -1,0 +1,291 @@
+"""Cluster execution context: N device timelines plus an interconnect.
+
+A :class:`ClusterContext` coordinates one sharded execution as a
+sequence of *supersteps* on a cluster-wide simulated clock:
+
+* a **compute step** opens one fresh :class:`~repro.gpusim.context.GPUContext`
+  per device (each reporting into its own private
+  :class:`~repro.obs.session.TraceSession`, so device timelines stay
+  independent).  The devices run in parallel; the step lasts as long as
+  its slowest device.
+* a **shuffle step** moves bytes between devices over the cluster's
+  :class:`~repro.cluster.topology.InterconnectSpec`, with exact per-link
+  byte accounting (see :mod:`repro.cluster.shuffle`).
+
+The cluster-wide simulated time is therefore
+``sum over steps of (max over device timelines | interconnect drain)``
+— the barrier-synchronous model of distributed radix joins.  When an
+ambient :class:`~repro.obs.session.TraceSession` is active, the cluster
+additionally reports one summary span per step and per-link byte
+counters into it; the full per-device tracks are exported by
+:func:`repro.cluster.trace.cluster_chrome_trace`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Union
+
+import numpy as np
+
+from ..gpusim.context import GPUContext
+from ..gpusim.device import A100, DeviceSpec
+from ..obs.session import TraceSession, current_session
+from .topology import (
+    ClusterSpec,
+    InterconnectSpec,
+    NVLINK_MESH,
+    get_interconnect,
+    interconnect_seconds,
+)
+
+
+@dataclass
+class TransferRecord:
+    """One device-to-device transfer inside a shuffle step."""
+
+    src: int
+    dst: int
+    nbytes: int
+    label: str = "shuffle"
+    seconds: float = 0.0
+
+
+@dataclass
+class ClusterStepRecord:
+    """One superstep on the cluster clock.
+
+    ``kind`` is ``"compute"`` or ``"shuffle"``.  Compute steps carry the
+    per-device trace sessions (device-local clocks starting at 0) and
+    contexts; shuffle steps carry the transfer matrix and per-transfer
+    records.  ``start_s`` is the step's position on the cluster clock.
+    """
+
+    name: str
+    kind: str
+    start_s: float
+    seconds: float = 0.0
+    contexts: List[GPUContext] = field(default_factory=list)
+    sessions: List[TraceSession] = field(default_factory=list)
+    matrix: Optional[np.ndarray] = None
+    transfers: List[TransferRecord] = field(default_factory=list)
+
+    @property
+    def device_seconds(self) -> List[float]:
+        """Per-device simulated seconds spent inside this step."""
+        return [ctx.elapsed_seconds for ctx in self.contexts]
+
+
+class ClusterContext:
+    """All mutable state of one simulated multi-device execution.
+
+    Parameters
+    ----------
+    spec:
+        A :class:`~repro.cluster.topology.ClusterSpec`; alternatively
+        pass ``device`` / ``num_devices`` / ``interconnect`` directly.
+    seed:
+        Base seed; device ``d`` derives ``seed + d`` for its context RNG
+        so per-device simulated non-determinism stays reproducible.
+    trace:
+        An explicit ambient session for summary spans/counters.  ``None``
+        picks up the active session, if any.
+
+    A one-device cluster degenerates to the single-device simulator: a
+    single compute step wraps one :class:`GPUContext`, no shuffle steps
+    exist, and the cluster clock equals that context's timeline exactly.
+
+    >>> cluster = ClusterContext(num_devices=2)
+    >>> cluster.num_devices
+    2
+    >>> cluster.spec.interconnect.name
+    'nvlink-mesh'
+    >>> cluster.total_seconds
+    0.0
+    """
+
+    def __init__(
+        self,
+        spec: Optional[ClusterSpec] = None,
+        device: DeviceSpec = A100,
+        num_devices: int = 1,
+        interconnect: Union[str, InterconnectSpec] = NVLINK_MESH,
+        seed: Optional[int] = None,
+        trace: Optional[TraceSession] = None,
+    ):
+        if spec is None:
+            if isinstance(interconnect, str):
+                interconnect = get_interconnect(interconnect)
+            spec = ClusterSpec(
+                device=device, num_devices=num_devices, interconnect=interconnect
+            )
+        self.spec = spec
+        self.seed = seed
+        self.trace = trace if trace is not None else current_session()
+        self.steps: List[ClusterStepRecord] = []
+        self._clock = 0.0
+
+    # -- shape ---------------------------------------------------------------
+
+    @property
+    def num_devices(self) -> int:
+        return self.spec.num_devices
+
+    @property
+    def device(self) -> DeviceSpec:
+        return self.spec.device
+
+    @property
+    def interconnect(self) -> InterconnectSpec:
+        return self.spec.interconnect
+
+    # -- clock ---------------------------------------------------------------
+
+    @property
+    def total_seconds(self) -> float:
+        """Cluster-wide simulated time: the barrier-synchronous sum of
+        per-step maxima over device timelines plus shuffle drains."""
+        return self._clock
+
+    def step_seconds(self, kind: Optional[str] = None) -> float:
+        """Total seconds of all steps, optionally of one ``kind``."""
+        return sum(
+            step.seconds for step in self.steps if kind is None or step.kind == kind
+        )
+
+    # -- supersteps ----------------------------------------------------------
+
+    @contextmanager
+    def compute_step(self, name: str) -> Iterator[ClusterStepRecord]:
+        """Open one compute superstep with a fresh context per device.
+
+        Inside the block, run device ``d``'s work on
+        ``step.contexts[d]``.  On exit the step's duration becomes the
+        maximum of the per-device timelines and the cluster clock
+        advances by it.
+        """
+        step = ClusterStepRecord(name=name, kind="compute", start_s=self._clock)
+        for d in range(self.num_devices):
+            session = TraceSession(f"{name}@gpu{d}")
+            seed = None if self.seed is None else self.seed + d
+            ctx = GPUContext(device=self.device, seed=seed, trace=session)
+            step.sessions.append(session)
+            step.contexts.append(ctx)
+        self.steps.append(step)
+        try:
+            yield step
+        finally:
+            step.seconds = max(step.device_seconds, default=0.0)
+            self._clock += step.seconds
+            if self.trace is not None:
+                with self.trace.span(
+                    f"cluster:{name}",
+                    category="cluster-step",
+                    devices=self.num_devices,
+                    seconds=step.seconds,
+                ):
+                    pass
+
+    def shuffle_step(
+        self, name: str, matrix: np.ndarray, label: str = "shuffle"
+    ) -> ClusterStepRecord:
+        """Account one all-to-all exchange described by a byte *matrix*.
+
+        ``matrix[src, dst]`` is the exact number of bytes device ``src``
+        emits to device ``dst``; the diagonal stays on-device and is
+        free.  Returns the recorded step; the cluster clock advances by
+        the interconnect drain time.
+        """
+        matrix = np.asarray(matrix, dtype=np.int64)
+        expected = (self.num_devices, self.num_devices)
+        if matrix.shape != expected:
+            raise ValueError(
+                f"shuffle matrix shape {matrix.shape} != {expected}"
+            )
+        if (matrix < 0).any():
+            raise ValueError("shuffle matrix entries must be >= 0")
+        seconds = interconnect_seconds(self.interconnect, matrix)
+        step = ClusterStepRecord(
+            name=name,
+            kind="shuffle",
+            start_s=self._clock,
+            seconds=seconds,
+            matrix=matrix,
+        )
+        spec = self.interconnect
+        for src, dst in self.spec.links():
+            nbytes = int(matrix[src, dst])
+            if not nbytes:
+                continue
+            if spec.kind == "p2p-mesh":
+                link_s = spec.transfer_latency_s + nbytes / spec.link_bandwidth
+            else:
+                link_s = nbytes / spec.link_bandwidth
+            step.transfers.append(
+                TransferRecord(src=src, dst=dst, nbytes=nbytes, label=label,
+                               seconds=link_s)
+            )
+        self.steps.append(step)
+        self._clock += seconds
+        if self.trace is not None:
+            with self.trace.span(
+                f"cluster:{name}",
+                category="cluster-step",
+                devices=self.num_devices,
+                seconds=seconds,
+                bytes=int(matrix.sum() - np.trace(matrix)),
+            ):
+                pass
+            for t in step.transfers:
+                self.trace.count("cluster_shuffle_bytes", t.nbytes)
+        return step
+
+    # -- accounting queries ---------------------------------------------------
+
+    def link_bytes(self) -> np.ndarray:
+        """Cumulative per-link byte matrix over all shuffle steps."""
+        total = np.zeros((self.num_devices, self.num_devices), dtype=np.int64)
+        for step in self.steps:
+            if step.matrix is not None:
+                total += step.matrix
+        np.fill_diagonal(total, 0)
+        return total
+
+    def emitted_bytes(self) -> np.ndarray:
+        """Bytes each device emitted onto the interconnect (row sums)."""
+        return self.link_bytes().sum(axis=1)
+
+    def received_bytes(self) -> np.ndarray:
+        """Bytes each device received from the interconnect (col sums)."""
+        return self.link_bytes().sum(axis=0)
+
+    def device_busy_seconds(self) -> List[float]:
+        """Per-device compute seconds summed over all compute steps."""
+        busy = [0.0] * self.num_devices
+        for step in self.steps:
+            if step.kind != "compute":
+                continue
+            for d, seconds in enumerate(step.device_seconds):
+                busy[d] += seconds
+        return busy
+
+    def describe(self) -> str:
+        """Human-readable multi-line summary of the executed steps."""
+        lines = [f"cluster {self.spec.describe()}: {self._clock * 1e3:.3f} ms"]
+        for step in self.steps:
+            if step.kind == "compute":
+                per_device = ", ".join(
+                    f"gpu{d}={s * 1e3:.3f}ms"
+                    for d, s in enumerate(step.device_seconds)
+                )
+                lines.append(
+                    f"  [compute] {step.name}: {step.seconds * 1e3:.3f} ms ({per_device})"
+                )
+            else:
+                moved = int(step.matrix.sum() - np.trace(step.matrix))
+                lines.append(
+                    f"  [shuffle] {step.name}: {step.seconds * 1e3:.3f} ms, "
+                    f"{moved} B over {len(step.transfers)} links"
+                )
+        return "\n".join(lines)

@@ -1,0 +1,168 @@
+"""Cluster topology: interconnect models and multi-device specs.
+
+The single-device simulator already charges host staging traffic to a
+``DeviceSpec.interconnect_bandwidth`` constant (out-of-core joins).  A
+:class:`InterconnectSpec` generalizes that constant into a device-to-
+device fabric model with two built-in shapes:
+
+* ``p2p-mesh`` — every ordered device pair has a dedicated full-duplex
+  link (NVLink-style).  All links drain concurrently, so a shuffle
+  completes when its most-loaded link drains.
+* ``host-bridge`` — all cross-device traffic is staged through one
+  shared host root complex (PCIe without peer-to-peer).  A shuffle
+  completes when the aggregate cross-device byte volume has crossed the
+  shared link once.
+
+Both models charge a fixed per-transfer latency on every non-empty
+link, mirroring ``DeviceSpec.kernel_launch_overhead_s`` for kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..gpusim.device import A100, DeviceSpec
+
+#: Interconnect shapes understood by :func:`interconnect_seconds`.
+INTERCONNECT_KINDS = ("p2p-mesh", "host-bridge")
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """Static description of the device-to-device fabric.
+
+    ``link_bandwidth`` is bytes/second per directed link for a
+    ``p2p-mesh`` and bytes/second through the shared root complex for a
+    ``host-bridge``.  ``transfer_latency_s`` is the fixed setup cost of
+    one non-empty transfer (driver + DMA engine launch).
+    """
+
+    name: str
+    kind: str
+    link_bandwidth: float
+    transfer_latency_s: float = 5e-6
+
+    def __post_init__(self):
+        if self.kind not in INTERCONNECT_KINDS:
+            raise ValueError(
+                f"unknown interconnect kind {self.kind!r}; "
+                f"known: {INTERCONNECT_KINDS}"
+            )
+        if self.link_bandwidth <= 0:
+            raise ValueError("link_bandwidth must be positive")
+        if self.transfer_latency_s < 0:
+            raise ValueError("transfer_latency_s must be >= 0")
+
+    def with_overrides(self, **kwargs) -> "InterconnectSpec":
+        """Return a copy of this spec with selected fields replaced."""
+        return replace(self, **kwargs)
+
+    def describe(self) -> str:
+        """Human-readable one-line summary of the fabric."""
+        return (
+            f"{self.name} ({self.kind}, "
+            f"{self.link_bandwidth / 1e9:.0f} GB/s per link)"
+        )
+
+
+#: NVLink-style all-to-all mesh: dedicated 50 GB/s full-duplex links.
+NVLINK_MESH = InterconnectSpec(
+    name="nvlink-mesh", kind="p2p-mesh", link_bandwidth=50e9,
+    transfer_latency_s=2e-6,
+)
+
+#: PCIe 4.0 x16 without peer-to-peer: all traffic through one shared
+#: host bridge at the same 25 GB/s the out-of-core joins model.
+PCIE_HOST = InterconnectSpec(
+    name="pcie-host", kind="host-bridge", link_bandwidth=25e9,
+    transfer_latency_s=5e-6,
+)
+
+#: Registry of the built-in interconnects keyed by name.
+BUILTIN_INTERCONNECTS = {spec.name: spec for spec in (NVLINK_MESH, PCIE_HOST)}
+
+
+def get_interconnect(name: str) -> InterconnectSpec:
+    """Look up a built-in interconnect by name.
+
+    >>> get_interconnect("nvlink-mesh").kind
+    'p2p-mesh'
+    >>> get_interconnect("pcie-host").kind
+    'host-bridge'
+    """
+    try:
+        return BUILTIN_INTERCONNECTS[name]
+    except KeyError:
+        known = ", ".join(sorted(BUILTIN_INTERCONNECTS))
+        raise KeyError(
+            f"unknown interconnect {name!r}; known interconnects: {known}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """N identical devices joined by one interconnect fabric.
+
+    >>> spec = ClusterSpec(num_devices=4)
+    >>> spec.device.name, spec.interconnect.name
+    ('A100', 'nvlink-mesh')
+    >>> len(spec.links())
+    12
+    """
+
+    device: DeviceSpec = A100
+    num_devices: int = 1
+    interconnect: InterconnectSpec = NVLINK_MESH
+
+    def __post_init__(self):
+        if self.num_devices < 1:
+            raise ValueError(
+                f"a cluster needs at least one device, got {self.num_devices}"
+            )
+
+    def links(self):
+        """All ordered (src, dst) device pairs, src != dst."""
+        return [
+            (src, dst)
+            for src in range(self.num_devices)
+            for dst in range(self.num_devices)
+            if src != dst
+        ]
+
+    def describe(self) -> str:
+        """Human-readable one-line summary of the cluster."""
+        return (
+            f"{self.num_devices}x {self.device.name} over "
+            f"{self.interconnect.describe()}"
+        )
+
+
+def interconnect_seconds(spec: InterconnectSpec, matrix: np.ndarray) -> float:
+    """Simulated seconds to drain one shuffle's transfer *matrix*.
+
+    ``matrix[src, dst]`` holds the bytes device ``src`` sends to device
+    ``dst``; the diagonal (device-local bucket moves) is free and
+    ignored.  For a ``p2p-mesh`` all links drain concurrently, so the
+    shuffle takes as long as its slowest link; for a ``host-bridge``
+    every cross-device byte crosses the shared root complex once.
+    """
+    matrix = np.asarray(matrix, dtype=np.int64)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"matrix must be square, got shape {matrix.shape}")
+    off_diagonal = matrix.copy()
+    np.fill_diagonal(off_diagonal, 0)
+    if not off_diagonal.any():
+        return 0.0
+    if spec.kind == "p2p-mesh":
+        per_link = np.where(
+            off_diagonal > 0,
+            spec.transfer_latency_s + off_diagonal / spec.link_bandwidth,
+            0.0,
+        )
+        return float(per_link.max())
+    # host-bridge: serialized through the shared root complex.
+    return float(
+        spec.transfer_latency_s + off_diagonal.sum() / spec.link_bandwidth
+    )

@@ -1,0 +1,128 @@
+"""Chrome-trace export for cluster executions.
+
+Lays one :class:`~repro.cluster.context.ClusterContext` run out as a
+multi-track Trace Event Format document: one named track (``tid``) per
+device carrying that device's kernels and phase spans, plus one
+``interconnect`` track carrying a span per device-to-device transfer
+with its exact byte count.  Every compute step's per-device sessions
+record on device-local clocks starting at zero, so the exporter shifts
+them by the step's position on the cluster clock — barriers between
+supersteps show up as the idle gaps a real multi-GPU profiler capture
+would show.
+
+Open the result in ``chrome://tracing`` or https://ui.perfetto.dev,
+exactly like the single-device traces from
+:func:`repro.obs.export.write_chrome_trace`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List
+
+from ..obs.export import session_events, thread_name_event
+from .context import ClusterContext
+
+#: Trace-viewer timestamps are microseconds.
+_US = 1e6
+
+
+def cluster_chrome_trace(
+    cluster: ClusterContext, name: str = "cluster"
+) -> Dict[str, object]:
+    """The cluster run as a Trace Event Format document (JSON-able dict).
+
+    Track layout: ``tid 0..N-1`` are the devices (named
+    ``gpu<d> (<device name>)``), ``tid N`` is the interconnect.  Spans
+    additionally include one ``step:`` span per superstep on the track
+    of each participating device.
+    """
+    n = cluster.num_devices
+    interconnect_tid = n
+    events: List[Dict[str, object]] = [
+        {
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": f"repro simulated cluster: {name}"},
+        }
+    ]
+    for d in range(n):
+        events.append(
+            thread_name_event(f"gpu{d} ({cluster.device.name})", tid=d)
+        )
+    events.append(
+        thread_name_event(f"interconnect ({cluster.interconnect.name})",
+                          tid=interconnect_tid)
+    )
+
+    for step in cluster.steps:
+        if step.kind == "compute":
+            for d, session in enumerate(step.sessions):
+                events.append(
+                    {
+                        "ph": "X",
+                        "pid": 0,
+                        "tid": d,
+                        "name": f"step:{step.name}",
+                        "cat": "cluster-step",
+                        "ts": step.start_s * _US,
+                        "dur": session.total_seconds * _US,
+                        "args": {"device": d, "step_seconds": step.seconds},
+                    }
+                )
+                events.extend(
+                    session_events(session, tid=d, clock_offset_s=step.start_s)
+                )
+        else:
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": 0,
+                    "tid": interconnect_tid,
+                    "name": f"step:{step.name}",
+                    "cat": "cluster-step",
+                    "ts": step.start_s * _US,
+                    "dur": step.seconds * _US,
+                    "args": {
+                        "links": len(step.transfers),
+                        "bytes": int(sum(t.nbytes for t in step.transfers)),
+                    },
+                }
+            )
+            for t in step.transfers:
+                events.append(
+                    {
+                        "ph": "X",
+                        "pid": 0,
+                        "tid": interconnect_tid,
+                        "name": f"{t.label}: gpu{t.src}->gpu{t.dst}",
+                        "cat": "transfer",
+                        "ts": step.start_s * _US,
+                        "dur": t.seconds * _US,
+                        "args": {"src": t.src, "dst": t.dst, "bytes": t.nbytes},
+                    }
+                )
+
+    matrix = cluster.link_bytes()
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "cluster": cluster.spec.describe(),
+            "simulated_seconds": cluster.total_seconds,
+            "shuffle_bytes_total": int(matrix.sum()),
+            "link_bytes": matrix.tolist(),
+        },
+    }
+
+
+def write_cluster_trace(cluster: ClusterContext, path, name: str = "") -> Path:
+    """Serialize a cluster run to a ``chrome://tracing`` JSON file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    doc = cluster_chrome_trace(cluster, name or path.stem)
+    path.write_text(json.dumps(doc, indent=1))
+    return path

@@ -44,6 +44,20 @@ class GPUContext:
         into.  ``None`` (default) picks up the active session if one is
         installed (``with TraceSession(): ...``); tracing stays fully
         disabled otherwise.
+
+    Submit kernels inside phases; the context accumulates simulated
+    time and a per-phase breakdown:
+
+    >>> from repro.gpusim import GPUContext, KernelStats
+    >>> ctx = GPUContext()
+    >>> with ctx.phase("match"):
+    ...     seconds = ctx.submit(
+    ...         KernelStats(name="probe", items=1 << 20, seq_read_bytes=8 << 20),
+    ...         phase="match")
+    >>> seconds > 0 and ctx.elapsed_seconds == seconds
+    True
+    >>> list(ctx.timeline.breakdown())
+    ['match']
     """
 
     def __init__(

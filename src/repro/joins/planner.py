@@ -92,7 +92,16 @@ class Recommendation:
 
 
 def recommend_join_algorithm(profile: JoinWorkloadProfile) -> Recommendation:
-    """Figure 18a: the best of the four implementations for a workload."""
+    """Figure 18a: the best of the four implementations for a workload.
+
+    >>> wide = JoinWorkloadProfile(r_rows=1 << 20, s_rows=1 << 20,
+    ...                            r_payload_columns=4, s_payload_columns=4)
+    >>> recommend_join_algorithm(wide).algorithm
+    'PHJ-OM'
+    >>> narrow = JoinWorkloadProfile(1 << 20, 1 << 20, 1, 1)
+    >>> recommend_join_algorithm(narrow).algorithm
+    'PHJ-UM'
+    """
     reasons: List[str] = []
     if profile.is_narrow:
         reasons.append("narrow join: materialization is negligible, PHJ transform is cheapest")
@@ -127,7 +136,15 @@ def recommend_join_algorithm(profile: JoinWorkloadProfile) -> Recommendation:
 
 
 def recommend_smj_variant(profile: JoinWorkloadProfile) -> Recommendation:
-    """Figure 18b: SMJ-OM vs SMJ-UM when restricted to sort-merge joins."""
+    """Figure 18b: SMJ-OM vs SMJ-UM when restricted to sort-merge joins.
+
+    >>> wide = JoinWorkloadProfile(r_rows=1 << 20, s_rows=1 << 20,
+    ...                            r_payload_columns=4, s_payload_columns=4)
+    >>> recommend_smj_variant(wide).algorithm
+    'SMJ-OM'
+    >>> recommend_smj_variant(JoinWorkloadProfile(1 << 20, 1 << 20, 1, 1)).algorithm
+    'SMJ-UM'
+    """
     reasons: List[str] = []
     if profile.is_narrow:
         reasons.append("narrow join: the variants coincide (nothing extra to sort)")
@@ -152,6 +169,13 @@ def make_algorithm(name: str, config=None):
     """Instantiate a join algorithm by its paper name.
 
     Accepts SMJ-UM, SMJ-OM, PHJ-UM, PHJ-OM, PHJ-OM/gfur, NPJ, CPU.
+
+    >>> make_algorithm("PHJ-OM").name
+    'PHJ-OM'
+    >>> make_algorithm("FOO")
+    Traceback (most recent call last):
+        ...
+    KeyError: "unknown join algorithm 'FOO'; known: ['CPU', 'NPJ', 'PHJ-OM', 'PHJ-OM/gfur', 'PHJ-UM', 'SMJ-OM', 'SMJ-UM']"
     """
     from .cpu_radix import CPURadixJoin
     from .npj import NonPartitionedHashJoin
@@ -182,7 +206,19 @@ def planner_choice(
     match_ratio: Optional[float] = None,
     zipf_factor: float = 0.0,
 ):
-    """Convenience: profile two relations and instantiate the best join."""
+    """Convenience: profile two relations and instantiate the best join.
+
+    >>> import numpy as np
+    >>> r = Relation.from_key_payloads(
+    ...     np.arange(64, dtype=np.int32),
+    ...     [np.arange(64, dtype=np.int32)], payload_prefix="r")
+    >>> s = Relation.from_key_payloads(
+    ...     np.arange(64, dtype=np.int32),
+    ...     [np.arange(64, dtype=np.int32)], payload_prefix="s")
+    >>> impl, recommendation = planner_choice(r, s)
+    >>> impl.name == recommendation.algorithm == 'PHJ-UM'
+    True
+    """
     profile = JoinWorkloadProfile.from_relations(
         r, s, match_ratio=match_ratio if match_ratio is not None else 1.0,
         zipf_factor=zipf_factor,

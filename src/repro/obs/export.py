@@ -42,6 +42,50 @@ def _kernel_args(event) -> Dict[str, object]:
     return args
 
 
+def session_events(
+    session: TraceSession,
+    pid: int = 0,
+    tid: int = 0,
+    clock_offset_s: float = 0.0,
+) -> List[Dict[str, object]]:
+    """One session's spans/kernels as complete (``"ph": "X"``) events.
+
+    ``tid`` places the events on a named track and ``clock_offset_s``
+    shifts the session's local clock onto a shared timeline — the hooks
+    the multi-device exporter (:mod:`repro.cluster.trace`) uses to lay
+    per-device sessions side by side.
+    """
+    events: List[Dict[str, object]] = []
+    for event in session.events:
+        end = event.end_s if event.end_s is not None else session.clock_s
+        events.append(
+            {
+                "ph": "X",
+                "pid": pid,
+                "tid": tid,
+                "name": event.name,
+                "cat": event.category,
+                "ts": (clock_offset_s + event.start_s) * _US,
+                "dur": (end - event.start_s) * _US,
+                "args": _kernel_args(event)
+                if event.category == KERNEL
+                else dict(event.args),
+            }
+        )
+    return events
+
+
+def thread_name_event(name: str, pid: int = 0, tid: int = 0) -> Dict[str, object]:
+    """A Trace Event Format metadata record naming one track."""
+    return {
+        "ph": "M",
+        "pid": pid,
+        "tid": tid,
+        "name": "thread_name",
+        "args": {"name": name},
+    }
+
+
 def to_chrome_trace(session: TraceSession) -> Dict[str, object]:
     """The session as a Trace Event Format document (a JSON-able dict)."""
     events: List[Dict[str, object]] = [
@@ -53,19 +97,7 @@ def to_chrome_trace(session: TraceSession) -> Dict[str, object]:
             "args": {"name": f"repro simulated device: {session.name}"},
         }
     ]
-    for event in session.events:
-        end = event.end_s if event.end_s is not None else session.clock_s
-        entry: Dict[str, object] = {
-            "ph": "X",
-            "pid": 0,
-            "tid": 0,
-            "name": event.name,
-            "cat": event.category,
-            "ts": event.start_s * _US,
-            "dur": (end - event.start_s) * _US,
-            "args": _kernel_args(event) if event.category == KERNEL else dict(event.args),
-        }
-        events.append(entry)
+    events.extend(session_events(session))
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",

@@ -76,14 +76,27 @@ def current_session() -> Optional["TraceSession"]:
 class TraceSession:
     """Collects spans, kernel events and counters for one traced run.
 
-    Use as a context manager to activate::
+    Use as a context manager to activate; while active, every
+    :class:`~repro.gpusim.context.GPUContext` created (by any layer)
+    reports into this session, and its clock ends up equal to the
+    device's simulated time:
 
-        with TraceSession("q3") as session:
-            result = join(r, s)
-        write_chrome_trace(session, "trace.json")
+    >>> from repro.obs import TraceSession
+    >>> from repro.gpusim import GPUContext, KernelStats
+    >>> with TraceSession("demo") as session:
+    ...     ctx = GPUContext()          # picks up the active session
+    ...     with session.span("join", "operator"):
+    ...         _ = ctx.submit(
+    ...             KernelStats(name="probe", seq_read_bytes=8 << 20),
+    ...             phase="match")
+    >>> [event.category for event in session.events]
+    ['operator', 'kernel']
+    >>> session.total_seconds == ctx.elapsed_seconds
+    True
 
-    While active, every :class:`~repro.gpusim.context.GPUContext`
-    created (by any layer) reports into this session.
+    Afterwards, pass the session to an exporter — e.g.
+    ``write_chrome_trace(session, "trace.json")`` for
+    ``chrome://tracing`` / Perfetto.
     """
 
     def __init__(self, name: str = "trace"):

@@ -62,17 +62,33 @@ def _resolve_groupby_algorithm(name: str, keys, device: DeviceSpec):
 
 
 class QueryExecutor:
-    """Executes logical plans on a simulated device."""
+    """Executes logical plans on a simulated device or device cluster.
+
+    ``shards=N`` with ``N > 1`` runs every Join and Aggregate operator
+    sharded across a simulated N-device cluster (see
+    :mod:`repro.cluster`): inputs are shuffled on the operator key over
+    *interconnect*, each device runs the unchanged single-device
+    algorithm on its shard, and the operator cost becomes the cluster
+    clock (max over device timelines plus shuffle drains).  Results are
+    bit-identical to the single-device run; ``shards=1`` (default) is
+    exactly the single-device executor.
+    """
 
     def __init__(
         self,
         device: DeviceSpec = A100,
         config: Optional[JoinConfig] = None,
         seed: Optional[int] = None,
+        shards: int = 1,
+        interconnect="nvlink-mesh",
     ):
+        if shards < 1:
+            raise JoinConfigError(f"shards must be >= 1, got {shards}")
         self.device = device
         self.config = config or JoinConfig()
         self.seed = seed
+        self.shards = shards
+        self.interconnect = interconnect
         self._session: Optional[TraceSession] = None
 
     def execute(
@@ -127,7 +143,10 @@ class QueryExecutor:
         if isinstance(node, Join):
             return self._run_join(node, trace, optimize, projection=None)
         if isinstance(node, Aggregate):
-            if optimize and isinstance(node.child, Join):
+            # Join-aggregate fusion folds during materialization on one
+            # device; a sharded aggregate instead re-shuffles the join
+            # output on the group column, so fusion does not apply.
+            if optimize and isinstance(node.child, Join) and self.shards == 1:
                 return self._run_fused_aggregate(node, trace, optimize)
             child = self._run(node.child, trace, optimize)
             return self._run_aggregate(node, child, trace)
@@ -175,6 +194,39 @@ class QueryExecutor:
             from dataclasses import replace
 
             config = replace(config, projection=tuple(projection))
+        if self.shards > 1:
+            from ..cluster.sharded import sharded_join
+
+            with self._operator_span(node.describe()) as span:
+                result = sharded_join(
+                    left,
+                    right,
+                    algorithm=node.algorithm,
+                    device=self.device,
+                    num_devices=self.shards,
+                    interconnect=self.interconnect,
+                    config=config,
+                    seed=self.seed,
+                )
+            description = f"Join[{result.algorithm} x{self.shards}]"
+            if projection is not None:
+                description += f" <- pushed {pushed_from}"
+            if span is not None:
+                span.name = description
+                span.args.update(
+                    rows=result.matches,
+                    algorithm=result.algorithm,
+                    shards=self.shards,
+                )
+            trace.append(
+                OperatorTrace(
+                    description,
+                    result.total_seconds,
+                    result.matches,
+                    extras=dict(result.step_seconds),
+                )
+            )
+            return result.output
         algorithm = _resolve_join_algorithm(node.algorithm, left, right, config)
         with self._operator_span(node.describe()) as span:
             result = algorithm.join(left, right, device=self.device, seed=self.seed)
@@ -203,6 +255,36 @@ class QueryExecutor:
             for spec in node.aggregates
             if spec.op != "count"
         }
+        if self.shards > 1:
+            from ..cluster.sharded import sharded_group_by
+
+            with self._operator_span(node.describe()) as span:
+                result = sharded_group_by(
+                    keys,
+                    values,
+                    list(node.aggregates),
+                    algorithm=node.algorithm,
+                    device=self.device,
+                    num_devices=self.shards,
+                    interconnect=self.interconnect,
+                    seed=self.seed,
+                )
+            if span is not None:
+                span.name = f"Aggregate[{result.algorithm} x{self.shards}]"
+                span.args.update(
+                    rows=result.groups,
+                    algorithm=result.algorithm,
+                    shards=self.shards,
+                )
+            trace.append(
+                OperatorTrace(
+                    f"Aggregate[{result.algorithm} x{self.shards}]",
+                    result.total_seconds,
+                    result.groups,
+                    extras=dict(result.step_seconds),
+                )
+            )
+            return result.output
         algorithm = _resolve_groupby_algorithm(node.algorithm, keys, self.device)
         with self._operator_span(node.describe()) as span:
             result = algorithm.group_by(
@@ -271,8 +353,16 @@ def execute(
     config: Optional[JoinConfig] = None,
     seed: Optional[int] = None,
     optimize: bool = True,
+    shards: int = 1,
+    interconnect="nvlink-mesh",
 ) -> QueryResult:
-    """One-shot convenience around :class:`QueryExecutor`."""
-    return QueryExecutor(device=device, config=config, seed=seed).execute(
-        plan, optimize=optimize
-    )
+    """One-shot convenience around :class:`QueryExecutor`.
+
+    ``shards=N`` executes every Join/Aggregate sharded across a
+    simulated N-device cluster over *interconnect* (a name or an
+    :class:`~repro.cluster.topology.InterconnectSpec`).
+    """
+    return QueryExecutor(
+        device=device, config=config, seed=seed, shards=shards,
+        interconnect=interconnect,
+    ).execute(plan, optimize=optimize)

@@ -1,0 +1,118 @@
+"""ClusterContext supersteps: clock semantics and byte accounting."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterContext, NVLINK_MESH, interconnect_seconds
+from repro.gpusim import KernelStats
+from repro.obs import TraceSession
+
+
+def _kernel(nbytes, name="work"):
+    return KernelStats(name=name, items=nbytes // 4, seq_read_bytes=nbytes)
+
+
+class TestComputeStep:
+    def test_step_lasts_as_long_as_slowest_device(self):
+        cluster = ClusterContext(num_devices=3)
+        with cluster.compute_step("probe") as step:
+            step.contexts[0].submit(_kernel(1 << 20))
+            step.contexts[1].submit(_kernel(1 << 26))  # slowest
+            step.contexts[2].submit(_kernel(1 << 10))
+        assert step.seconds == max(step.device_seconds)
+        assert step.seconds == step.device_seconds[1]
+        assert cluster.total_seconds == step.seconds
+
+    def test_clock_accumulates_across_steps(self):
+        cluster = ClusterContext(num_devices=2)
+        with cluster.compute_step("a") as a:
+            a.contexts[0].submit(_kernel(1 << 20))
+        with cluster.compute_step("b") as b:
+            b.contexts[1].submit(_kernel(1 << 22))
+        assert cluster.total_seconds == pytest.approx(a.seconds + b.seconds)
+        assert b.start_s == pytest.approx(a.seconds)
+
+    def test_idle_devices_cost_nothing(self):
+        cluster = ClusterContext(num_devices=4)
+        with cluster.compute_step("lonely") as step:
+            step.contexts[0].submit(_kernel(1 << 20))
+        assert step.device_seconds[1:] == [0.0, 0.0, 0.0]
+
+    def test_device_busy_seconds_sums_compute_only(self):
+        cluster = ClusterContext(num_devices=2)
+        with cluster.compute_step("a") as a:
+            a.contexts[0].submit(_kernel(1 << 20))
+        matrix = np.array([[0, 1000], [0, 0]])
+        cluster.shuffle_step("x", matrix)
+        with cluster.compute_step("b") as b:
+            b.contexts[0].submit(_kernel(1 << 20))
+        busy = cluster.device_busy_seconds()
+        assert busy[0] == pytest.approx(
+            a.device_seconds[0] + b.device_seconds[0]
+        )
+        assert busy[1] == 0.0
+        assert cluster.total_seconds > busy[0]  # shuffle time on top
+
+
+class TestShuffleStep:
+    def test_clock_advances_by_interconnect_drain(self):
+        cluster = ClusterContext(num_devices=2)
+        matrix = np.array([[0, 4096], [8192, 0]])
+        step = cluster.shuffle_step("exchange", matrix)
+        assert step.seconds == interconnect_seconds(NVLINK_MESH, matrix)
+        assert cluster.total_seconds == step.seconds
+
+    def test_transfers_cover_exactly_nonzero_offdiagonal_links(self):
+        cluster = ClusterContext(num_devices=3)
+        matrix = np.array([[100, 4096, 0], [0, 200, 8192], [0, 0, 300]])
+        step = cluster.shuffle_step("exchange", matrix)
+        links = {(t.src, t.dst): t.nbytes for t in step.transfers}
+        assert links == {(0, 1): 4096, (1, 2): 8192}
+
+    def test_wrong_shape_rejected(self):
+        cluster = ClusterContext(num_devices=2)
+        with pytest.raises(ValueError, match="shape"):
+            cluster.shuffle_step("bad", np.zeros((3, 3)))
+
+    def test_negative_bytes_rejected(self):
+        cluster = ClusterContext(num_devices=2)
+        with pytest.raises(ValueError, match=">= 0"):
+            cluster.shuffle_step("bad", np.array([[0, -1], [0, 0]]))
+
+    def test_link_bytes_accumulates_with_zero_diagonal(self):
+        cluster = ClusterContext(num_devices=2)
+        cluster.shuffle_step("a", np.array([[50, 100], [200, 60]]))
+        cluster.shuffle_step("b", np.array([[0, 300], [400, 0]]))
+        assert cluster.link_bytes().tolist() == [[0, 400], [600, 0]]
+        assert cluster.emitted_bytes().tolist() == [400, 600]
+        assert cluster.received_bytes().tolist() == [600, 400]
+
+
+class TestAmbientTrace:
+    def test_summary_spans_and_counters_reported(self):
+        with TraceSession("ambient") as session:
+            cluster = ClusterContext(num_devices=2)
+            with cluster.compute_step("build") as step:
+                step.contexts[0].submit(_kernel(1 << 20))
+            cluster.shuffle_step("exchange", np.array([[0, 4096], [0, 0]]))
+        names = [e.name for e in session.events]
+        assert "cluster:build" in names
+        assert "cluster:exchange" in names
+        assert session.metrics.value("cluster_shuffle_bytes") == 4096
+
+    def test_no_ambient_trace_is_fine(self):
+        cluster = ClusterContext(num_devices=2)
+        assert cluster.trace is None
+        with cluster.compute_step("quiet") as step:
+            step.contexts[0].submit(_kernel(1 << 10))
+        assert cluster.total_seconds > 0
+
+    def test_per_device_sessions_stay_private(self):
+        with TraceSession("ambient") as ambient:
+            cluster = ClusterContext(num_devices=2)
+            with cluster.compute_step("build") as step:
+                step.contexts[0].submit(_kernel(1 << 20))
+        # The kernel landed on the device-private session, not the
+        # ambient one (which only holds the summary span).
+        assert len(step.sessions[0].kernel_events()) == 1
+        assert ambient.kernel_events() == []

@@ -1,0 +1,106 @@
+"""Interconnect models and cluster specs: validation + drain times."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    BUILTIN_INTERCONNECTS,
+    ClusterSpec,
+    InterconnectSpec,
+    NVLINK_MESH,
+    PCIE_HOST,
+    get_interconnect,
+    interconnect_seconds,
+)
+
+
+class TestInterconnectSpec:
+    def test_builtin_lookup(self):
+        assert get_interconnect("nvlink-mesh") is NVLINK_MESH
+        assert get_interconnect("pcie-host") is PCIE_HOST
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(KeyError, match="nvlink-mesh"):
+            get_interconnect("infiniband")
+
+    def test_registry_is_keyed_by_name(self):
+        for name, spec in BUILTIN_INTERCONNECTS.items():
+            assert spec.name == name
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            InterconnectSpec(name="x", kind="token-ring", link_bandwidth=1e9)
+
+    def test_nonpositive_bandwidth_rejected(self):
+        with pytest.raises(ValueError, match="bandwidth"):
+            InterconnectSpec(name="x", kind="p2p-mesh", link_bandwidth=0.0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError, match="latency"):
+            InterconnectSpec(
+                name="x", kind="p2p-mesh", link_bandwidth=1e9,
+                transfer_latency_s=-1e-6,
+            )
+
+    def test_with_overrides(self):
+        slow = NVLINK_MESH.with_overrides(link_bandwidth=1e9)
+        assert slow.link_bandwidth == 1e9
+        assert slow.kind == NVLINK_MESH.kind
+        assert NVLINK_MESH.link_bandwidth == 50e9  # original untouched
+
+
+class TestClusterSpec:
+    def test_defaults(self):
+        spec = ClusterSpec()
+        assert spec.num_devices == 1
+        assert spec.device.name == "A100"
+        assert spec.links() == []
+
+    def test_links_are_all_ordered_pairs(self):
+        spec = ClusterSpec(num_devices=3)
+        assert len(spec.links()) == 6
+        assert (0, 0) not in spec.links()
+        assert (1, 2) in spec.links() and (2, 1) in spec.links()
+
+    def test_zero_devices_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ClusterSpec(num_devices=0)
+
+
+class TestInterconnectSeconds:
+    def test_empty_matrix_is_free(self):
+        assert interconnect_seconds(NVLINK_MESH, np.zeros((4, 4))) == 0.0
+
+    def test_diagonal_is_free(self):
+        matrix = np.diag([1 << 30] * 4)
+        assert interconnect_seconds(NVLINK_MESH, matrix) == 0.0
+        assert interconnect_seconds(PCIE_HOST, matrix) == 0.0
+
+    def test_p2p_mesh_is_max_over_links(self):
+        matrix = np.zeros((3, 3), dtype=np.int64)
+        matrix[0, 1] = 1000
+        matrix[1, 2] = 5000  # the loaded link
+        expected = NVLINK_MESH.transfer_latency_s + 5000 / NVLINK_MESH.link_bandwidth
+        assert interconnect_seconds(NVLINK_MESH, matrix) == pytest.approx(expected)
+
+    def test_host_bridge_serializes_total_bytes(self):
+        matrix = np.zeros((3, 3), dtype=np.int64)
+        matrix[0, 1] = 1000
+        matrix[1, 2] = 5000
+        matrix[2, 2] = 1 << 20  # diagonal ignored
+        expected = PCIE_HOST.transfer_latency_s + 6000 / PCIE_HOST.link_bandwidth
+        assert interconnect_seconds(PCIE_HOST, matrix) == pytest.approx(expected)
+
+    def test_mesh_beats_bridge_on_balanced_all_to_all(self):
+        same_bw = PCIE_HOST.with_overrides(
+            transfer_latency_s=NVLINK_MESH.transfer_latency_s,
+            link_bandwidth=NVLINK_MESH.link_bandwidth,
+        )
+        matrix = np.full((4, 4), 1 << 20, dtype=np.int64)
+        assert interconnect_seconds(NVLINK_MESH, matrix) < interconnect_seconds(
+            same_bw, matrix
+        )
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            interconnect_seconds(NVLINK_MESH, np.zeros((2, 3)))

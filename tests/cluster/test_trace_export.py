@@ -1,0 +1,79 @@
+"""Multi-track Chrome-trace export of cluster runs."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cluster import cluster_chrome_trace, sharded_join, write_cluster_trace
+from repro.workloads import JoinWorkloadSpec, generate_join_workload
+
+
+@pytest.fixture(scope="module")
+def join_result():
+    r, s = generate_join_workload(
+        JoinWorkloadSpec(r_rows=512, s_rows=2048, r_payload_columns=2,
+                         s_payload_columns=2, seed=3)
+    )
+    return sharded_join(r, s, algorithm="PHJ-OM", num_devices=4, seed=3)
+
+
+def test_tracks_cover_devices_plus_interconnect(join_result):
+    doc = cluster_chrome_trace(join_result.cluster, "test")
+    names = {
+        e["tid"]: e["args"]["name"]
+        for e in doc["traceEvents"]
+        if e.get("ph") == "M" and e["name"] == "thread_name"
+    }
+    assert set(names) == {0, 1, 2, 3, 4}
+    assert names[0].startswith("gpu0")
+    assert "interconnect" in names[4]
+
+
+def test_spans_land_on_their_device_track(join_result):
+    doc = cluster_chrome_trace(join_result.cluster, "test")
+    spans = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+    device_tids = {e["tid"] for e in spans if e["cat"] != "transfer"
+                   and not e["name"].startswith("step:shuffle:")}
+    assert device_tids >= {0, 1, 2, 3}
+    transfers = [e for e in spans if e["cat"] == "transfer"]
+    assert transfers, "expected per-transfer spans"
+    assert {e["tid"] for e in transfers} == {4}
+    assert all(e["args"]["bytes"] > 0 for e in transfers)
+
+
+def test_transfer_bytes_match_link_accounting(join_result):
+    doc = cluster_chrome_trace(join_result.cluster, "test")
+    transfers = [
+        e for e in doc["traceEvents"]
+        if e.get("ph") == "X" and e["cat"] == "transfer"
+    ]
+    by_link = {}
+    for e in transfers:
+        key = (e["args"]["src"], e["args"]["dst"])
+        by_link[key] = by_link.get(key, 0) + e["args"]["bytes"]
+    matrix = join_result.cluster.link_bytes()
+    for (src, dst), nbytes in by_link.items():
+        assert matrix[src, dst] == nbytes
+    assert sum(by_link.values()) == matrix.sum()
+    assert doc["otherData"]["shuffle_bytes_total"] == int(matrix.sum())
+
+
+def test_steps_are_laid_out_on_the_cluster_clock(join_result):
+    doc = cluster_chrome_trace(join_result.cluster, "test")
+    step_spans = [
+        e for e in doc["traceEvents"]
+        if e.get("ph") == "X" and e["cat"] == "cluster-step"
+    ]
+    starts = sorted({e["ts"] for e in step_spans})
+    expected = sorted({s.start_s * 1e6 for s in join_result.cluster.steps})
+    assert starts == pytest.approx(expected)
+
+
+def test_write_cluster_trace_roundtrips(join_result, tmp_path):
+    path = write_cluster_trace(join_result.cluster, tmp_path / "c.trace.json")
+    doc = json.loads(path.read_text())
+    assert doc["traceEvents"]
+    assert doc["otherData"]["simulated_seconds"] == pytest.approx(
+        join_result.total_seconds
+    )

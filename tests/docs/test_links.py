@@ -1,0 +1,76 @@
+"""Docs stay navigable: every relative link and anchor resolves.
+
+Runs the same checker as the CI ``docs`` job (``tools/check_docs.py``)
+over the four narrative documents, so a broken cross-reference fails
+tier-1 locally before it fails CI.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+DOCS = ["README.md", "ARCHITECTURE.md", "DESIGN.md", "EXPERIMENTS.md"]
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO / "tools" / "check_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+check_docs = _load_checker()
+
+
+def test_all_docs_exist():
+    for name in DOCS:
+        assert (REPO / name).is_file(), f"{name} is missing"
+
+
+def test_relative_links_and_anchors_resolve():
+    slug_cache = {}
+    errors = []
+    for name in DOCS:
+        errors.extend(check_docs.check_file(REPO / name, slug_cache))
+    assert not errors, "broken docs links:\n" + "\n".join(errors)
+
+
+def test_readme_links_architecture():
+    assert "ARCHITECTURE.md" in (REPO / "README.md").read_text(encoding="utf-8")
+
+
+@pytest.mark.parametrize(
+    "heading,expected",
+    [
+        ("Scale-out (ext04)", "scale-out-ext04"),
+        ("How the simulation works (and why it is faithful)",
+         "how-the-simulation-works-and-why-it-is-faithful"),
+        ("`repro.cluster` — scale-out", "reprocluster--scale-out"),
+    ],
+)
+def test_github_slug_rules(heading, expected):
+    assert check_docs.github_slug(heading, {}) == expected
+
+
+def test_github_slug_deduplicates():
+    seen = {}
+    assert check_docs.github_slug("Setup", seen) == "setup"
+    assert check_docs.github_slug("Setup", seen) == "setup-1"
+
+
+def test_checker_flags_broken_anchor(tmp_path):
+    doc = tmp_path / "doc.md"
+    doc.write_text("# Only Heading\n\n[bad](#nope)\n[ok](#only-heading)\n")
+    errors = check_docs.check_file(doc, {})
+    assert len(errors) == 1 and "#nope" in errors[0]
+
+
+def test_checker_ignores_links_in_code_blocks(tmp_path):
+    doc = tmp_path / "doc.md"
+    doc.write_text("```\n[not a link](missing.md)\n```\nand `[also](gone.md)` text\n")
+    assert check_docs.check_file(doc, {}) == []

@@ -1,0 +1,75 @@
+"""Differential oracle for the scale-out layer.
+
+On the same randomized workload sweep the single-device oracle suite
+uses, sharded execution must return *the same rows* as the
+single-device algorithm for every device count — and for group-bys the
+same bits, including float accumulations, because the shuffle is stable
+and equal keys co-locate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.aggregation import AggSpec
+from repro.aggregation.planner import make_groupby_algorithm
+from repro.cluster import sharded_group_by, sharded_join
+from repro.joins.planner import make_algorithm
+from repro.relational import reference_join
+from repro.workloads import generate_groupby_workload, generate_join_workload
+
+from .conftest import GROUPBY_SPECS, JOIN_SPECS
+
+DEVICE_COUNTS = (1, 2, 4, 8)
+
+
+@pytest.mark.parametrize("spec_name", sorted(JOIN_SPECS))
+@pytest.mark.parametrize("num_devices", DEVICE_COUNTS)
+def test_sharded_join_matches_single_device(spec_name, num_devices):
+    r, s = generate_join_workload(JOIN_SPECS[spec_name])
+    single = make_algorithm("PHJ-OM", None).join(r, s, seed=17)
+    clustered = sharded_join(
+        r, s, algorithm="PHJ-OM", num_devices=num_devices, seed=17
+    )
+    assert clustered.matches == single.matches
+    # Shard concatenation permutes row order; the row *sets* must agree
+    # exactly (and therefore with the pure-numpy reference).
+    assert clustered.output.equals_unordered(single.output)
+    assert clustered.output.equals_unordered(reference_join(r, s))
+
+
+@pytest.mark.parametrize("spec_name", sorted(GROUPBY_SPECS))
+@pytest.mark.parametrize("num_devices", DEVICE_COUNTS)
+def test_sharded_groupby_bit_identical(spec_name, num_devices):
+    spec = GROUPBY_SPECS[spec_name]
+    keys, values = generate_groupby_workload(spec)
+    aggregates = [AggSpec("v1", "sum")]
+    if spec.value_columns >= 2:
+        aggregates.append(AggSpec("v2", "mean"))
+    single = make_groupby_algorithm("HASH-AGG").group_by(
+        keys, values, aggregates, seed=17
+    )
+    clustered = sharded_group_by(
+        keys, values, aggregates, algorithm="HASH-AGG",
+        num_devices=num_devices, seed=17,
+    )
+    assert clustered.groups == single.groups
+    assert list(clustered.output) == list(single.output)
+    for column, array in single.output.items():
+        # Bit-identical, not approx: the shuffle is stable so float
+        # accumulation order matches the single-device run.
+        assert np.array_equal(clustered.output[column], array), column
+
+
+@pytest.mark.parametrize("num_devices", DEVICE_COUNTS[1:])
+def test_auto_algorithm_resolves_globally(num_devices):
+    """'auto' picks from the full relations, so every shard runs the
+    same algorithm the single-device planner would choose."""
+    from repro.joins.planner import JoinWorkloadProfile, recommend_join_algorithm
+
+    spec = JOIN_SPECS[sorted(JOIN_SPECS)[0]]
+    r, s = generate_join_workload(spec)
+    expected = recommend_join_algorithm(
+        JoinWorkloadProfile.from_relations(r, s)
+    ).algorithm
+    clustered = sharded_join(r, s, algorithm="auto", num_devices=num_devices)
+    assert clustered.algorithm == expected

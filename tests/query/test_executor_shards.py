@@ -1,0 +1,65 @@
+"""Query executor with shards>1: sharded operators, unchanged answers."""
+
+import numpy as np
+import pytest
+
+from repro.aggregation import AggSpec
+from repro.errors import JoinConfigError
+from repro.query import Aggregate, Join, Scan, execute
+from repro.workloads import JoinWorkloadSpec, generate_join_workload
+
+
+@pytest.fixture(scope="module")
+def relations():
+    return generate_join_workload(
+        JoinWorkloadSpec(r_rows=1024, s_rows=4096, r_payload_columns=2,
+                         s_payload_columns=2, seed=21)
+    )
+
+
+@pytest.fixture(scope="module")
+def plan(relations):
+    r, s = relations
+    return Aggregate(
+        Join(Scan(r), Scan(s)), "r1", (AggSpec("s1", "sum"),)
+    )
+
+
+def test_invalid_shards_rejected(relations):
+    r, s = relations
+    with pytest.raises(JoinConfigError, match="shards"):
+        execute(Join(Scan(r), Scan(s)), shards=0)
+
+
+@pytest.mark.parametrize("shards", [2, 4])
+def test_sharded_plan_matches_unsharded(plan, shards):
+    baseline = execute(plan, seed=9, optimize=False)
+    sharded = execute(plan, seed=9, shards=shards)
+    assert list(sharded.output) == list(baseline.output)
+    for column, array in baseline.output.items():
+        assert np.array_equal(sharded.output[column], array), column
+
+
+def test_operator_traces_are_labelled_with_shards(plan):
+    result = execute(plan, seed=9, shards=2)
+    descriptions = [t.description for t in result.trace]
+    assert any("Join[" in d and "x2" in d for d in descriptions)
+    assert any("Aggregate[" in d and "x2" in d for d in descriptions)
+    # Sharded operators expose their step breakdown as extras.
+    join_trace = next(t for t in result.trace if "Join[" in t.description)
+    assert "shuffle" in " ".join(join_trace.extras)
+
+
+def test_fusion_disabled_under_sharding(plan):
+    fused = execute(plan, seed=9, shards=1)
+    sharded = execute(plan, seed=9, shards=2)
+    assert any("Fused" in t.description for t in fused.trace)
+    assert not any("Fused" in t.description for t in sharded.trace)
+
+
+def test_shards_one_is_the_single_device_executor(plan):
+    one = execute(plan, seed=9, shards=1, optimize=False)
+    base = execute(plan, seed=9, optimize=False)
+    assert one.total_seconds == base.total_seconds
+    for column, array in base.output.items():
+        assert np.array_equal(one.output[column], array)

@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""Markdown link checker for the repo's docs (stdlib only).
+
+Checks every ``[text](target)`` / ``![alt](target)`` link in the given
+markdown files:
+
+* relative file links must point at an existing file or directory
+  (resolved against the linking file's directory);
+* anchor links (``#section`` or ``file.md#section``) must match a
+  heading in the target file, using GitHub's heading-slug rules
+  (lowercase, punctuation stripped, spaces to hyphens, ``-N`` suffixes
+  for duplicates);
+* absolute URLs (http/https/mailto) are *not* fetched — CI must not
+  depend on the network — but must at least parse (no spaces).
+
+Exit status is the number of broken links (0 == all good).
+
+Usage::
+
+    python tools/check_docs.py README.md ARCHITECTURE.md DESIGN.md EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+#: ``[text](target)`` with no nesting; images are the same with a ``!``.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+(?:\s+\"[^\"]*\")?)\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+FENCE_RE = re.compile(r"^(```|~~~)")
+EXTERNAL_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def _strip_code_blocks(lines: List[str]) -> List[str]:
+    """Blank out fenced code blocks and inline code spans."""
+    out: List[str] = []
+    in_fence = False
+    for line in lines:
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            out.append("")
+            continue
+        out.append("" if in_fence else re.sub(r"`[^`]*`", "", line))
+    return out
+
+
+def github_slug(heading: str, seen: Dict[str, int]) -> str:
+    """GitHub's anchor slug for one heading text."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)            # unwrap code spans
+    text = re.sub(r"!?\[([^\]]*)\]\([^)]*\)", r"\1", text)  # unwrap links
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)  # drop punctuation
+    slug = text.replace(" ", "-")
+    count = seen.get(slug, 0)
+    seen[slug] = count + 1
+    return slug if count == 0 else f"{slug}-{count}"
+
+
+def heading_slugs(path: Path) -> List[str]:
+    seen: Dict[str, int] = {}
+    slugs: List[str] = []
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING_RE.match(line)
+        if match:
+            slugs.append(github_slug(match.group(2), seen))
+    return slugs
+
+
+def extract_links(path: Path) -> List[Tuple[int, str]]:
+    lines = path.read_text(encoding="utf-8").splitlines()
+    links: List[Tuple[int, str]] = []
+    for lineno, line in enumerate(_strip_code_blocks(lines), start=1):
+        for match in LINK_RE.finditer(line):
+            target = match.group(1).split()[0].strip()  # drop title strings
+            links.append((lineno, target))
+    return links
+
+
+def check_file(path: Path, slug_cache: Dict[Path, List[str]]) -> List[str]:
+    errors: List[str] = []
+    for lineno, target in extract_links(path):
+        where = f"{path}:{lineno}"
+        if target.startswith(EXTERNAL_SCHEMES):
+            continue  # not fetched; LINK_RE already rejected embedded spaces
+        base, _, anchor = target.partition("#")
+        dest = path if not base else (path.parent / base).resolve()
+        if not dest.exists():
+            errors.append(f"{where}: broken link {target!r} (no such file {base!r})")
+            continue
+        if anchor:
+            if dest.is_dir() or dest.suffix.lower() not in (".md", ".markdown"):
+                errors.append(
+                    f"{where}: anchor {target!r} into non-markdown target"
+                )
+                continue
+            if dest not in slug_cache:
+                slug_cache[dest] = heading_slugs(dest)
+            if anchor.lower() not in slug_cache[dest]:
+                errors.append(
+                    f"{where}: anchor {target!r} not found; "
+                    f"{dest.name} has {slug_cache[dest]}"
+                )
+    return errors
+
+
+def main(argv: List[str]) -> int:
+    files = [Path(arg) for arg in argv] or sorted(Path(".").glob("*.md"))
+    slug_cache: Dict[Path, List[str]] = {}
+    errors: List[str] = []
+    for path in files:
+        if not path.exists():
+            errors.append(f"{path}: file does not exist")
+            continue
+        errors.extend(check_file(path, slug_cache))
+    for error in errors:
+        print(error, file=sys.stderr)
+    if not errors:
+        print(f"docs OK: {len(files)} files, all relative links and anchors resolve")
+    return len(errors)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
