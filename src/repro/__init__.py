@@ -31,11 +31,15 @@ from .cluster import (
 from .errors import (
     AggregationConfigError,
     DeviceOutOfMemoryError,
+    FaultPlanError,
+    GracefulDegradationError,
     InvalidRelationError,
     JoinConfigError,
     ReproError,
+    ShardedExecutionWarning,
     WorkloadError,
 )
+from .faults import FaultPlan, resilient_group_by, resilient_join
 from .gpusim import A100, CPU_SERVER, RTX3090, DeviceSpec, GPUContext, scaled_device
 from .obs import (
     TraceSession,

@@ -14,6 +14,11 @@ from .planner import (
     make_groupby_algorithm,
     recommend_groupby_algorithm,
 )
+from .out_of_core import (
+    OutOfCoreGroupBy,
+    OutOfCoreGroupByResult,
+    estimate_groupby_footprint,
+)
 from .sort_groupby import SortGroupBy
 
 #: The three principal strategies, keyed by their short names.
@@ -31,8 +36,11 @@ __all__ = [
     "GroupByResult",
     "GroupByWorkloadProfile",
     "HashGroupBy",
+    "OutOfCoreGroupBy",
+    "OutOfCoreGroupByResult",
     "PartitionedGroupBy",
     "SortGroupBy",
+    "estimate_groupby_footprint",
     "atomic_contention",
     "derive_groupby_bits",
     "make_groupby_algorithm",

@@ -16,9 +16,12 @@ configs, devices, per-phase inspection, cluster topologies) lives in
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, List, Optional, Union
 
 import numpy as np
+
+from .errors import ShardedExecutionWarning
 
 from .aggregation.base import AggSpec, GroupByConfig, GroupByResult
 from .aggregation.planner import (
@@ -43,6 +46,19 @@ def _resolve_device(device: Union[str, DeviceSpec]) -> DeviceSpec:
     return get_device(device)
 
 
+def _check_sharded_fault_plan(fault_plan, shards: int) -> None:
+    """Warn when sharding strips a plan's single-device OOM pressure."""
+    if fault_plan is not None and fault_plan.capacity_frac is not None:
+        warnings.warn(
+            ShardedExecutionWarning(
+                f"shards={shards} ignores fault_plan.capacity_frac: "
+                "device-OOM pressure and its graceful degradation are "
+                "single-device mechanisms; transient faults still inject"
+            ),
+            stacklevel=3,
+        )
+
+
 def join(
     r: Relation,
     s: Relation,
@@ -54,6 +70,7 @@ def join(
     seed: Optional[int] = None,
     shards: int = 1,
     interconnect="nvlink-mesh",
+    fault_plan=None,
 ) -> JoinResult:
     """Inner equi-join ``R ⋈ S`` on each relation's key column.
 
@@ -84,11 +101,24 @@ def join(
     >>> sharded = join(r, s, algorithm="PHJ-OM", seed=0, shards=2)
     >>> sharded.matches, sharded.num_devices
     (300, 2)
+
+    ``fault_plan=`` injects a :class:`~repro.faults.FaultPlan`: kernels
+    retry with simulated backoff, and under the plan's memory pressure
+    the join degrades to the staged out-of-core path instead of raising
+    (returning a :class:`~repro.faults.ResilientJoinResult` with the
+    same rows).
+
+    >>> from repro.faults import FaultPlan
+    >>> faulty = join(r, s, algorithm="PHJ-OM", seed=0,
+    ...               fault_plan=FaultPlan(seed=1, kernel_fault_rate=0.2))
+    >>> faulty.output.equals_unordered(result.output), faulty.degraded
+    (True, False)
     """
     spec = _resolve_device(device)
     if shards > 1:
         from .cluster.sharded import sharded_join
 
+        _check_sharded_fault_plan(fault_plan, shards)
         return sharded_join(
             r,
             s,
@@ -98,6 +128,19 @@ def join(
             interconnect=interconnect,
             config=config,
             seed=seed,
+            fault_plan=fault_plan,
+        )
+    if fault_plan is not None:
+        from .faults.recovery import resilient_join
+
+        return resilient_join(
+            r,
+            s,
+            algorithm=algorithm,
+            device=spec,
+            config=config,
+            seed=seed,
+            fault_plan=fault_plan,
         )
     if algorithm == "auto":
         profile = JoinWorkloadProfile.from_relations(
@@ -135,6 +178,7 @@ def group_by(
     seed: Optional[int] = None,
     shards: int = 1,
     interconnect="nvlink-mesh",
+    fault_plan=None,
 ) -> GroupByResult:
     """Grouped aggregation of *values* by *keys*.
 
@@ -164,6 +208,7 @@ def group_by(
     if shards > 1:
         from .cluster.sharded import sharded_group_by
 
+        _check_sharded_fault_plan(fault_plan, shards)
         return sharded_group_by(
             keys,
             values,
@@ -174,6 +219,20 @@ def group_by(
             interconnect=interconnect,
             config=config,
             seed=seed,
+            fault_plan=fault_plan,
+        )
+    if fault_plan is not None:
+        from .faults.recovery import resilient_group_by
+
+        return resilient_group_by(
+            keys,
+            values,
+            agg_specs,
+            algorithm=algorithm,
+            device=spec,
+            config=config,
+            seed=seed,
+            fault_plan=fault_plan,
         )
     if algorithm == "auto":
         profile = GroupByWorkloadProfile(

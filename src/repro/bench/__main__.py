@@ -52,6 +52,28 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help=(
+            "fault-plan seed for resilience experiments; forwarded to "
+            "experiments that take a 'fault_seed' knob (ext05)"
+        ),
+    )
+    parser.add_argument(
+        "--capacity-frac",
+        type=float,
+        nargs="+",
+        metavar="F",
+        default=None,
+        help=(
+            "device capacity fractions for resilience experiments "
+            "(e.g. --capacity-frac 0.05 0.001); forwarded to experiments "
+            "that take a 'capacity_fracs' knob (ext05)"
+        ),
+    )
+    parser.add_argument(
         "--trace",
         metavar="DIR",
         default=None,
@@ -92,6 +114,10 @@ def main(argv=None) -> int:
         params = inspect.signature(runner).parameters
         if args.devices is not None and "devices" in params:
             kwargs["devices"] = tuple(args.devices)
+        if args.fault_seed is not None and "fault_seed" in params:
+            kwargs["fault_seed"] = args.fault_seed
+        if args.capacity_frac is not None and "capacity_fracs" in params:
+            kwargs["capacity_fracs"] = tuple(args.capacity_frac)
         if args.trace and "trace_dir" in params:
             kwargs["trace_dir"] = args.trace
         if args.trace:

@@ -29,6 +29,7 @@ from typing import Iterator, List, Optional, Union
 
 import numpy as np
 
+from ..faults.plan import FAULT_COUNTERS
 from ..gpusim.context import GPUContext
 from ..gpusim.device import A100, DeviceSpec
 from ..obs.session import TraceSession, current_session
@@ -70,6 +71,9 @@ class ClusterStepRecord:
     sessions: List[TraceSession] = field(default_factory=list)
     matrix: Optional[np.ndarray] = None
     transfers: List[TransferRecord] = field(default_factory=list)
+    #: Simulated seconds this step spent recovering from injected faults
+    #: (replays, stragglers, retransmits) on top of the fault-free time.
+    recovery_seconds: float = 0.0
 
     @property
     def device_seconds(self) -> List[float]:
@@ -91,6 +95,24 @@ class ClusterContext:
     trace:
         An explicit ambient session for summary spans/counters.  ``None``
         picks up the active session, if any.
+    fault_plan:
+        A :class:`~repro.faults.FaultPlan` for the cluster fabric.  Its
+        transient-fault part is forwarded into every compute step's
+        device contexts (site ``gpu<d>``); the cluster draws its own
+        ``"cluster"`` site stream for device replays, stragglers and
+        link retransmits.  OOM pressure (``capacity_frac``) is *not*
+        applied to shards — graceful degradation around the memory
+        cliff is a single-device planner concern — so the plan is
+        stripped via :meth:`~repro.faults.FaultPlan.without_capacity`.
+
+    Recovery semantics are barrier-synchronous checkpoint/replay: a
+    superstep's inputs live in host/shuffle buffers (the checkpoint),
+    so a failed device re-runs its shard from identical inputs — the
+    replay charges the shard's full compute time again plus backoff,
+    but the deterministic outputs are computed once and unchanged.
+    Link failures retransmit the affected buckets over the same
+    interconnect model.  Fault draws never touch the data path, so
+    sharded results stay bit-identical under any plan.
 
     A one-device cluster degenerates to the single-device simulator: a
     single compute step wraps one :class:`GPUContext`, no shuffle steps
@@ -113,6 +135,7 @@ class ClusterContext:
         interconnect: Union[str, InterconnectSpec] = NVLINK_MESH,
         seed: Optional[int] = None,
         trace: Optional[TraceSession] = None,
+        fault_plan=None,
     ):
         if spec is None:
             if isinstance(interconnect, str):
@@ -123,8 +146,16 @@ class ClusterContext:
         self.spec = spec
         self.seed = seed
         self.trace = trace if trace is not None else current_session()
+        self.fault_plan = None if fault_plan is None else fault_plan.without_capacity()
+        self.faults = (
+            None if self.fault_plan is None else self.fault_plan.injector("cluster")
+        )
         self.steps: List[ClusterStepRecord] = []
         self._clock = 0.0
+
+    def _count(self, name: str, value: float = 1.0) -> None:
+        if self.trace is not None:
+            self.trace.count(name, value)
 
     # -- shape ---------------------------------------------------------------
 
@@ -169,23 +200,81 @@ class ClusterContext:
         for d in range(self.num_devices):
             session = TraceSession(f"{name}@gpu{d}")
             seed = None if self.seed is None else self.seed + d
-            ctx = GPUContext(device=self.device, seed=seed, trace=session)
+            ctx = GPUContext(
+                device=self.device,
+                seed=seed,
+                trace=session,
+                fault_plan=self.fault_plan,
+                fault_site=f"gpu{d}",
+            )
             step.sessions.append(session)
             step.contexts.append(ctx)
         self.steps.append(step)
         try:
             yield step
         finally:
-            step.seconds = max(step.device_seconds, default=0.0)
+            effective = self._recover_compute(step, name)
+            step.seconds = max(effective, default=0.0)
             self._clock += step.seconds
             if self.trace is not None:
+                # Device contexts trace into private per-device sessions;
+                # roll their fault/recovery counters up into the ambient
+                # session so cluster-wide totals live in one registry.
+                for session in step.sessions:
+                    for counter in FAULT_COUNTERS:
+                        value = session.metrics.value(counter)
+                        if value:
+                            self.trace.count(counter, value)
                 with self.trace.span(
                     f"cluster:{name}",
                     category="cluster-step",
                     devices=self.num_devices,
                     seconds=step.seconds,
+                    recovery_s=step.recovery_seconds,
                 ):
                     pass
+
+    def _recover_compute(self, step: ClusterStepRecord, name: str) -> List[float]:
+        """Per-device effective seconds after replays and stragglers.
+
+        A failed device replays its shard from the superstep checkpoint
+        (the host/shuffle-resident inputs), re-charging the shard's full
+        compute time plus exponential backoff; a straggler stretches its
+        timeline by the plan's slowdown.  The step still lasts as long
+        as its slowest device — recovery only moves the barrier.
+        """
+        base = step.device_seconds
+        if self.faults is None:
+            return base
+        effective: List[float] = []
+        for d, seconds in enumerate(base):
+            extra = 0.0
+            slow = self.faults.straggler_factor(f"{name}@gpu{d}")
+            if slow > 1.0:
+                extra += seconds * (slow - 1.0)
+                self._count("faults_injected_straggler")
+                self._count("fault_straggler_seconds", seconds * (slow - 1.0))
+            replays = self.faults.device_replays(name, d)
+            if replays:
+                backoff = sum(
+                    self.fault_plan.backoff_seconds(k) for k in range(replays)
+                )
+                replay_s = replays * seconds + backoff
+                extra += replay_s
+                self._count("faults_injected_device")
+                self._count("fault_replays", replays)
+                self._count("fault_replay_seconds", replay_s)
+                if self.trace is not None:
+                    with self.trace.span(
+                        f"replay:{name}@gpu{d}",
+                        category="retry",
+                        replays=replays,
+                        seconds=replay_s,
+                    ):
+                        pass
+            effective.append(seconds + extra)
+            step.recovery_seconds += extra
+        return effective
 
     def shuffle_step(
         self, name: str, matrix: np.ndarray, label: str = "shuffle"
@@ -226,20 +315,74 @@ class ClusterContext:
                 TransferRecord(src=src, dst=dst, nbytes=nbytes, label=label,
                                seconds=link_s)
             )
+        self._recover_shuffle(step, name, label)
         self.steps.append(step)
-        self._clock += seconds
+        self._clock += step.seconds
         if self.trace is not None:
             with self.trace.span(
                 f"cluster:{name}",
                 category="cluster-step",
                 devices=self.num_devices,
-                seconds=seconds,
+                seconds=step.seconds,
                 bytes=int(matrix.sum() - np.trace(matrix)),
+                recovery_s=step.recovery_seconds,
             ):
                 pass
             for t in step.transfers:
                 self.trace.count("cluster_shuffle_bytes", t.nbytes)
         return step
+
+    def _recover_shuffle(
+        self, step: ClusterStepRecord, name: str, label: str
+    ) -> None:
+        """Inject link failures/stragglers into one shuffle superstep.
+
+        Each directed link's bucket may fail and be retransmitted whole
+        (the paper-scale buckets have no partial-delivery model); the
+        retransmissions form their own byte matrix and drain over the
+        same interconnect model, extending the step.  Retransmitted
+        bytes are recorded as extra :class:`TransferRecord` entries
+        labelled ``retransmit:*``.
+        """
+        if self.faults is None or step.matrix is None:
+            return
+        spec = self.interconnect
+        retry = np.zeros_like(step.matrix)
+        for src, dst in self.spec.links():
+            nbytes = int(step.matrix[src, dst])
+            if not nbytes:
+                continue
+            failures = self.faults.link_failures(src, dst)
+            if not failures:
+                continue
+            retry[src, dst] = failures * nbytes
+            self._count("faults_injected_link")
+            if spec.kind == "p2p-mesh":
+                link_s = failures * (
+                    spec.transfer_latency_s + nbytes / spec.link_bandwidth
+                )
+            else:
+                link_s = failures * nbytes / spec.link_bandwidth
+            step.transfers.append(
+                TransferRecord(
+                    src=src, dst=dst, nbytes=failures * nbytes,
+                    label=f"retransmit:{label}", seconds=link_s,
+                )
+            )
+        retransmit_bytes = int(retry.sum())
+        if not retransmit_bytes:
+            return
+        retransmit_s = interconnect_seconds(spec, retry)
+        slow = self.faults.straggler_factor(f"{name}")
+        if slow > 1.0:
+            straggler_s = (step.seconds + retransmit_s) * (slow - 1.0)
+            self._count("faults_injected_straggler")
+            self._count("fault_straggler_seconds", straggler_s)
+            retransmit_s += straggler_s
+        self._count("fault_retransmit_bytes", float(retransmit_bytes))
+        self._count("fault_retransmit_seconds", retransmit_s)
+        step.recovery_seconds += retransmit_s
+        step.seconds += retransmit_s
 
     # -- accounting queries ---------------------------------------------------
 

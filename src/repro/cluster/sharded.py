@@ -52,11 +52,13 @@ def _make_cluster(
     num_devices: int,
     interconnect: Union[str, InterconnectSpec],
     seed: Optional[int],
+    fault_plan=None,
 ) -> ClusterContext:
     if cluster is not None:
         return cluster
     return ClusterContext(
-        device=device, num_devices=num_devices, interconnect=interconnect, seed=seed
+        device=device, num_devices=num_devices, interconnect=interconnect, seed=seed,
+        fault_plan=fault_plan,
     )
 
 
@@ -142,6 +144,7 @@ def sharded_join(
     interconnect: Union[str, InterconnectSpec] = NVLINK_MESH,
     config: Optional[JoinConfig] = None,
     seed: Optional[int] = None,
+    fault_plan=None,
 ) -> ShardedJoinResult:
     """Inner equi-join ``R ⋈ S`` sharded over a simulated cluster.
 
@@ -166,7 +169,9 @@ def sharded_join(
     ...     ["shuffle-partition", "shuffle", "join"])
     True
     """
-    cluster = _make_cluster(cluster, device, num_devices, interconnect, seed)
+    cluster = _make_cluster(
+        cluster, device, num_devices, interconnect, seed, fault_plan
+    )
     name = _resolve_join_algorithm_name(algorithm, r, s)
 
     if cluster.num_devices == 1:
@@ -279,6 +284,7 @@ def sharded_group_by(
     interconnect: Union[str, InterconnectSpec] = NVLINK_MESH,
     config=None,
     seed: Optional[int] = None,
+    fault_plan=None,
 ) -> ShardedGroupByResult:
     """Grouped aggregation sharded over a simulated cluster.
 
@@ -297,7 +303,9 @@ def sharded_group_by(
     >>> result.groups, int(result.output["sum_v"][0])
     (64, 16)
     """
-    cluster = _make_cluster(cluster, device, num_devices, interconnect, seed)
+    cluster = _make_cluster(
+        cluster, device, num_devices, interconnect, seed, fault_plan
+    )
     keys = np.asarray(keys)
     if algorithm == "auto":
         profile = GroupByWorkloadProfile(

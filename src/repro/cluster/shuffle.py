@@ -10,6 +10,16 @@ joins and group-bys produce bit-identical results to their single-device
 counterparts — and the partitioning is stable end to end (source blocks
 are concatenated in device order, each bucket preserving local row
 order), so even order-sensitive float accumulations reproduce exactly.
+
+**Fault injection.**  The exchange is the cluster layer's link-failure
+injection point: when the owning :class:`ClusterContext` carries a
+:class:`~repro.faults.FaultPlan`, each directed link's bucket may fail
+its delivery and be retransmitted whole inside
+:meth:`ClusterContext.shuffle_step` — extending the drain and the
+``fault_retransmit_*`` counters but never the routed rows, because the
+bucket contents are host-resident until the step completes (the
+shuffle *is* the superstep checkpoint the replay machinery restores
+from).
 """
 
 from __future__ import annotations

@@ -6,22 +6,52 @@ catch one base class at API boundaries.
 
 from __future__ import annotations
 
+from typing import Optional, Sequence, Tuple
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
 
 
 class DeviceOutOfMemoryError(ReproError):
-    """Raised when a simulated device allocation exceeds device capacity."""
+    """Raised when a simulated device allocation exceeds device capacity.
 
-    def __init__(self, requested: int, in_use: int, capacity: int):
+    Carries the allocator's largest live allocations at failure time
+    (``top_live``: ``(label, nbytes)`` pairs, largest first) so OOM
+    reports name the arrays actually holding the memory.
+    """
+
+    #: How many live allocations the message names.
+    TOP_LIVE_LIMIT = 5
+
+    def __init__(
+        self,
+        requested: int,
+        in_use: int,
+        capacity: int,
+        label: str = "",
+        top_live: Optional[Sequence[Tuple[str, int]]] = None,
+    ):
         self.requested = requested
         self.in_use = in_use
         self.capacity = capacity
-        super().__init__(
-            f"device out of memory: requested {requested} B with {in_use} B "
-            f"in use exceeds capacity {capacity} B"
+        self.label = label
+        self.top_live = list(top_live or [])
+        message = (
+            f"device out of memory: requested {requested} B"
+            + (f" for {label!r}" if label else "")
+            + f" with {in_use} B in use exceeds capacity {capacity} B"
         )
+        if self.top_live:
+            shown = self.top_live[: self.TOP_LIVE_LIMIT]
+            listed = ", ".join(
+                f"{name or '<unlabeled>'}={nbytes} B" for name, nbytes in shown
+            )
+            more = len(self.top_live) - len(shown)
+            message += f"; top live allocations: {listed}"
+            if more > 0:
+                message += f" (+{more} more)"
+        super().__init__(message)
 
 
 class AllocationError(ReproError):
@@ -42,3 +72,23 @@ class AggregationConfigError(ReproError):
 
 class WorkloadError(ReproError):
     """Raised when workload generator parameters are invalid."""
+
+
+class FaultPlanError(ReproError):
+    """Raised when a fault-injection plan is configured with invalid rates."""
+
+
+class GracefulDegradationError(ReproError):
+    """Raised when every degradation level of a recovery ladder still
+    exceeds the (injected or real) device memory budget."""
+
+    def __init__(self, message: str, attempts: Optional[Sequence[str]] = None):
+        self.attempts = list(attempts or [])
+        if self.attempts:
+            message += f" (tried: {', '.join(self.attempts)})"
+        super().__init__(message)
+
+
+class ShardedExecutionWarning(UserWarning):
+    """Warned when ``shards > 1`` silently disables a requested
+    optimization (e.g. join-aggregate fusion) rather than erroring."""

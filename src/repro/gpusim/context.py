@@ -44,6 +44,18 @@ class GPUContext:
         into.  ``None`` (default) picks up the active session if one is
         installed (``with TraceSession(): ...``); tracing stays fully
         disabled otherwise.
+    fault_plan:
+        A :class:`~repro.faults.FaultPlan` to apply to this context.
+        Transient kernel faults are injected at :meth:`submit` and
+        recovered by retry-with-simulated-backoff (faulted attempts and
+        backoff are charged to the timeline and traced as ``retry``
+        spans); ``capacity_frac`` shrinks and *enforces* the simulated
+        memory capacity so allocations feel OOM pressure.  Injection
+        draws come from a private per-site stream — never from ``rng`` —
+        so relational results are bit-identical with and without faults.
+    fault_site:
+        Stable site name for the fault-injection stream (defaults to
+        ``"gpu"``; the cluster layer passes ``"gpu<d>"`` per device).
 
     Submit kernels inside phases; the context accumulates simulated
     time and a per-phase breakdown:
@@ -67,10 +79,20 @@ class GPUContext:
         enforce_capacity: bool = False,
         seed: Optional[int] = None,
         trace=None,
+        fault_plan=None,
+        fault_site: str = "gpu",
     ):
         self.device = device
         capacity = mem_capacity if mem_capacity is not None else device.global_mem_bytes
-        self.mem = DeviceMemory(capacity if enforce_capacity else None)
+        limit = capacity if enforce_capacity else None
+        self.fault_plan = fault_plan
+        self.faults = None
+        if fault_plan is not None:
+            self.faults = fault_plan.injector(fault_site)
+            injected = fault_plan.capacity_bytes(device)
+            if injected is not None:
+                limit = injected if limit is None else min(limit, injected)
+        self.mem = DeviceMemory(limit)
         self.cost = CostModel(device)
         self.trace = trace if trace is not None else current_session()
         self.timeline = PhaseTimeline(trace=self.trace)
@@ -80,9 +102,49 @@ class GPUContext:
     # -- kernel submission ---------------------------------------------------
 
     def submit(self, stats: KernelStats, phase: Optional[str] = None, **extra) -> float:
-        """Account one simulated kernel; returns its simulated seconds."""
+        """Account one simulated kernel; returns its simulated seconds.
+
+        With a fault plan attached, the kernel may transiently fault:
+        each failed attempt re-charges the kernel's full time plus an
+        exponential simulated backoff (kernels are idempotent, so the
+        retry re-executes from the same inputs), then the successful
+        attempt lands as usual.  The returned seconds are those of the
+        successful attempt only; recovery time is visible on the
+        timeline, the trace and the ``fault_*`` counters.
+        """
         stats.validate()
         seconds = self.cost.time(stats)
+        if self.faults is not None:
+            failures = self.faults.kernel_faults(stats.name)
+            for attempt in range(failures):
+                backoff = self.fault_plan.backoff_seconds(attempt)
+                lost = seconds + backoff
+                retry_stats = KernelStats(
+                    name=f"retry:{stats.name}", launches=stats.launches
+                )
+                retry = KernelRecord(
+                    stats=retry_stats,
+                    seconds=lost,
+                    phase=phase or "",
+                    extra={"fault": "transient-kernel", "attempt": attempt + 1},
+                )
+                if self.trace is not None:
+                    with self.trace.span(
+                        f"retry:{stats.name}",
+                        category="retry",
+                        attempt=attempt + 1,
+                        backoff_s=backoff,
+                    ):
+                        self.timeline.add(retry)
+                        self.profiler.record(retry)
+                        self.trace.record_kernel(retry, self.device)
+                    self.trace.count("fault_kernel_retries")
+                    self.trace.count("fault_retry_seconds", lost)
+                    if attempt == 0:
+                        self.trace.count("faults_injected_kernel")
+                else:
+                    self.timeline.add(retry)
+                    self.profiler.record(retry)
         record = KernelRecord(stats=stats, seconds=seconds, phase=phase or "", extra=extra)
         self.timeline.add(record)
         self.profiler.record(record)
@@ -121,4 +183,7 @@ class GPUContext:
 
     def fork(self, seed: Optional[int] = None) -> "GPUContext":
         """A fresh context on the same device (new memory/timeline)."""
-        return GPUContext(device=self.device, seed=seed, trace=self.trace)
+        return GPUContext(
+            device=self.device, seed=seed, trace=self.trace,
+            fault_plan=self.fault_plan,
+        )

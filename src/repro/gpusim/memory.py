@@ -118,7 +118,13 @@ class DeviceMemory:
             self.capacity_bytes is not None
             and self.current_bytes + nbytes > self.capacity_bytes
         ):
-            raise DeviceOutOfMemoryError(nbytes, self.current_bytes, self.capacity_bytes)
+            raise DeviceOutOfMemoryError(
+                nbytes,
+                self.current_bytes,
+                self.capacity_bytes,
+                label=label,
+                top_live=self.live_allocations(),
+            )
         arr = DeviceArray(data, self, label)
         self._live[id(arr)] = arr
         self.current_bytes += nbytes
@@ -177,6 +183,18 @@ class DeviceMemory:
     def live_labels(self) -> list:
         """Labels of currently live arrays (debugging / leak tests)."""
         return sorted(arr.label for arr in self._live.values())
+
+    def live_allocations(self) -> list:
+        """Live ``(label, nbytes)`` pairs, largest first.
+
+        The payload attached to :class:`~repro.errors.DeviceOutOfMemoryError`
+        so OOM reports name the arrays actually holding device memory.
+        Ties break on the label so the order is deterministic.
+        """
+        return sorted(
+            ((arr.label, arr.nbytes) for arr in self._live.values()),
+            key=lambda pair: (-pair[1], pair[0]),
+        )
 
     @property
     def live_count(self) -> int:

@@ -91,12 +91,17 @@ class FusedJoinAggregate:
         device: DeviceSpec = A100,
         seed: Optional[int] = None,
         fuse: bool = True,
+        fault_plan=None,
     ) -> FusedResult:
         """Execute ``GROUP BY group_column`` over ``R ⋈ S``.
 
         ``group_column`` and aggregate columns name *output* columns of
         the join.  With ``fuse=False`` the pipeline runs unfused (full
-        materialization, then aggregation) for comparison.
+        materialization, then aggregation) for comparison.  A
+        ``fault_plan`` injects into both stages' contexts;
+        :class:`~repro.errors.DeviceOutOfMemoryError` under its capacity
+        pressure propagates to the caller (the executor degrades to the
+        unfused resilient path).
         """
         needed: List[str] = [group_column]
         for spec in aggregates:
@@ -110,7 +115,9 @@ class FusedJoinAggregate:
             self.join_algorithm.config,
             projection=tuple(needed) if fuse else None,
         )
-        ctx = GPUContext(device=device, seed=seed)
+        ctx = GPUContext(
+            device=device, seed=seed, fault_plan=fault_plan, fault_site="gpu/fused"
+        )
         join_result = algorithm.join(r, s, ctx=ctx)
         joined = join_result.output
         if group_column not in joined:
@@ -135,8 +142,12 @@ class FusedJoinAggregate:
             groupby_algorithm = make_groupby_algorithm(
                 recommend_groupby_algorithm(profile, device=device).algorithm
             )
+        agg_ctx = GPUContext(
+            device=device, seed=seed, fault_plan=fault_plan,
+            fault_site="gpu/fused-agg",
+        )
         groupby_result = groupby_algorithm.group_by(
-            keys, values, list(aggregates), device=device, seed=seed
+            keys, values, list(aggregates), ctx=agg_ctx
         )
 
         credit = 0.0

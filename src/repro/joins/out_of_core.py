@@ -96,10 +96,20 @@ class OutOfCoreJoin:
         inner: JoinAlgorithm,
         device_budget_bytes: Optional[int] = None,
         host_device: DeviceSpec = CPU_SERVER,
+        fault_plan=None,
+        min_chunks: int = 1,
     ):
         self.inner = inner
         self.device_budget_bytes = device_budget_bytes
         self.host_device = host_device
+        #: Forwarded (without its capacity pressure) into the per-chunk
+        #: device contexts, so transient kernel faults keep injecting
+        #: inside the degraded execution it exists to escape.
+        self.fault_plan = None if fault_plan is None else fault_plan.without_capacity()
+        #: Floor on the fan-out; the graceful-degradation ladder passes 2
+        #: so an *observed* OOM always re-plans with more passes even if
+        #: the footprint estimate would say "fits".
+        self.min_chunks = min_chunks
 
     # -- planning ------------------------------------------------------------
 
@@ -107,9 +117,12 @@ class OutOfCoreJoin:
         """Number of co-chunks (a power of two; 1 = fits in memory)."""
         footprint = estimate_join_footprint(r, s)
         if footprint <= budget:
-            return 1
-        ratio = footprint / budget
-        return min(MAX_CHUNKS, 1 << max(1, math.ceil(math.log2(ratio))))
+            chunks = 1
+        else:
+            ratio = footprint / budget
+            chunks = 1 << max(1, math.ceil(math.log2(ratio)))
+        chunks = max(chunks, self.min_chunks)
+        return min(MAX_CHUNKS, 1 << math.ceil(math.log2(max(1, chunks))))
 
     # -- execution ------------------------------------------------------------
 
@@ -135,7 +148,9 @@ class OutOfCoreJoin:
             self._charge_transfer(
                 transfer_ctx, r.total_bytes + s.total_bytes, "transfer_in"
             )
-            result = self.inner.join(r, s, device=device, seed=seed)
+            result = self.inner.join(
+                r, s, ctx=self._chunk_context(device, seed, 0)
+            )
             self._charge_transfer(transfer_ctx, result.output.total_bytes, "transfer_out")
             return OutOfCoreResult(
                 output=result.output,
@@ -163,8 +178,8 @@ class OutOfCoreJoin:
                 f"transfer_in_{index}",
             )
             result = self.inner.join(
-                r_chunk, s_chunk, device=device,
-                seed=None if seed is None else seed + index,
+                r_chunk, s_chunk,
+                ctx=self._chunk_context(device, seed, index),
             )
             self._charge_transfer(
                 transfer_ctx, result.output.total_bytes, f"transfer_out_{index}"
@@ -185,6 +200,22 @@ class OutOfCoreJoin:
         )
 
     # -- internals -----------------------------------------------------------
+
+    def _chunk_context(
+        self, device: DeviceSpec, seed: Optional[int], index: int
+    ) -> GPUContext:
+        """A fresh unconstrained device context for one chunk join.
+
+        Transient kernel faults keep injecting per chunk (each chunk is
+        its own deterministic injection site); memory pressure does not,
+        since staging exists to fit under the shrunken capacity.
+        """
+        return GPUContext(
+            device=device,
+            seed=None if seed is None else seed + index,
+            fault_plan=self.fault_plan,
+            fault_site=f"gpu/chunk{index}",
+        )
 
     def _host_partition(
         self, host_ctx: GPUContext, rel: Relation, bits: int

@@ -25,7 +25,7 @@ from .export import (
     write_counters_csv,
 )
 from .metrics import STAT_COUNTERS, MetricsRegistry
-from .report import per_operator_report, write_report
+from .report import per_operator_report, recovery_summary, write_report
 from .session import TraceEvent, TraceSession, current_session
 
 __all__ = [
@@ -37,6 +37,7 @@ __all__ = [
     "current_session",
     "export_session",
     "per_operator_report",
+    "recovery_summary",
     "to_chrome_trace",
     "write_chrome_trace",
     "write_counters_csv",

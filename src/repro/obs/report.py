@@ -4,6 +4,9 @@ Reproduces the Table 4 counter layout (total cycles, warp instructions,
 cycles per warp instruction, memory read volume, sectors per load
 request) *per operator span* of a traced run, followed by the session's
 flat counter totals — the text analogue of opening the Chrome trace.
+When the run carried a :class:`~repro.faults.FaultPlan`, a recovery
+overhead summary breaks the injected faults and their simulated
+recovery cost down by mechanism.
 """
 
 from __future__ import annotations
@@ -19,6 +22,62 @@ def _format_value(value) -> str:
     if isinstance(value, float) and not value.is_integer():
         return f"{value:.6g}"
     return f"{int(value)}"
+
+
+#: (report label, counter, is_seconds) rows of the recovery table, in
+#: fault-kind order: kernel retry, OOM degradation, link retransmit,
+#: device replay, straggler.
+_RECOVERY_ROWS = (
+    ("kernel faults injected", "faults_injected_kernel", False),
+    ("kernel retries", "fault_kernel_retries", False),
+    ("kernel retry seconds", "fault_retry_seconds", True),
+    ("OOM events", "faults_injected_oom", False),
+    ("operators degraded", "degraded_operators", False),
+    ("degradation extra passes", "degraded_extra_passes", False),
+    ("link failures injected", "faults_injected_link", False),
+    ("retransmitted bytes", "fault_retransmit_bytes", False),
+    ("retransmit seconds", "fault_retransmit_seconds", True),
+    ("device failures injected", "faults_injected_device", False),
+    ("superstep replays", "fault_replays", False),
+    ("replay seconds", "fault_replay_seconds", True),
+    ("stragglers injected", "faults_injected_straggler", False),
+    ("straggler seconds", "fault_straggler_seconds", True),
+)
+
+
+def recovery_summary(session: TraceSession) -> List[str]:
+    """Recovery-overhead table lines, empty when no faults fired.
+
+    Shows every nonzero fault/recovery counter plus the total simulated
+    recovery time and its share of the session clock — the cost of
+    surviving the injected fault plan.
+    """
+    from ..faults.plan import FAULT_COUNTERS
+
+    metrics = session.metrics
+    if not any(metrics.value(counter) for counter in FAULT_COUNTERS):
+        return []
+    lines = ["", "-- recovery overhead --"]
+    recovery_seconds = 0.0
+    for label, counter, is_seconds in _RECOVERY_ROWS:
+        value = metrics.value(counter)
+        if not value:
+            continue
+        if is_seconds:
+            recovery_seconds += value
+            lines.append(f"   {label:36s} {value * 1e3:.4f} ms")
+        else:
+            lines.append(f"   {label:36s} {_format_value(value)}")
+    lines.append(
+        f"   {'total recovery seconds':36s} {recovery_seconds * 1e3:.4f} ms"
+    )
+    total = session.total_seconds
+    if total > 0:
+        lines.append(
+            f"   {'recovery share of session clock':36s} "
+            f"{recovery_seconds / total:.1%}"
+        )
+    return lines
 
 
 def per_operator_report(session: TraceSession) -> str:
@@ -56,6 +115,7 @@ def per_operator_report(session: TraceSession) -> str:
     lines.append("-- session counters --")
     for name, value in session.metrics.rows():
         lines.append(f"   {name:36s} {_format_value(value)}")
+    lines.extend(recovery_summary(session))
     return "\n".join(lines)
 
 

@@ -12,6 +12,7 @@ literally for comparison (the delta is exactly ext02's measurement).
 
 from __future__ import annotations
 
+import warnings
 from contextlib import contextmanager
 from typing import List, Optional, Tuple
 
@@ -21,7 +22,11 @@ from ..aggregation.planner import (
     make_groupby_algorithm,
     recommend_groupby_algorithm,
 )
-from ..errors import JoinConfigError
+from ..errors import (
+    DeviceOutOfMemoryError,
+    JoinConfigError,
+    ShardedExecutionWarning,
+)
 from ..obs.session import TraceSession, current_session
 from ..gpusim.context import GPUContext
 from ..gpusim.device import A100, DeviceSpec
@@ -72,6 +77,14 @@ class QueryExecutor:
     clock (max over device timelines plus shuffle drains).  Results are
     bit-identical to the single-device run; ``shards=1`` (default) is
     exactly the single-device executor.
+
+    ``fault_plan=`` applies a :class:`~repro.faults.FaultPlan` to every
+    operator: transient kernel faults retry with simulated backoff, and
+    (injected or real) :class:`~repro.errors.DeviceOutOfMemoryError`
+    degrades the operator to its partitioned/out-of-core variant instead
+    of raising, recording ``degraded=`` in the operator trace.  OOM
+    pressure (``capacity_frac``) is a single-device mechanism and
+    conflicts with ``shards > 1``.
     """
 
     def __init__(
@@ -81,14 +94,29 @@ class QueryExecutor:
         seed: Optional[int] = None,
         shards: int = 1,
         interconnect="nvlink-mesh",
+        fault_plan=None,
     ):
         if shards < 1:
             raise JoinConfigError(f"shards must be >= 1, got {shards}")
+        if (
+            shards > 1
+            and fault_plan is not None
+            and fault_plan.capacity_frac is not None
+        ):
+            # OOM-pressure degradation (re-planning to out-of-core) is a
+            # single-device recovery; silently dropping the pressure would
+            # make a "tested" fault plan vacuous, so conflict loudly.
+            raise JoinConfigError(
+                "fault_plan.capacity_frac (device-OOM pressure) is "
+                "incompatible with shards > 1; use "
+                "fault_plan.without_capacity() for sharded runs"
+            )
         self.device = device
         self.config = config or JoinConfig()
         self.seed = seed
         self.shards = shards
         self.interconnect = interconnect
+        self.fault_plan = fault_plan
         self._session: Optional[TraceSession] = None
 
     def execute(
@@ -148,6 +176,16 @@ class QueryExecutor:
             # output on the group column, so fusion does not apply.
             if optimize and isinstance(node.child, Join) and self.shards == 1:
                 return self._run_fused_aggregate(node, trace, optimize)
+            if optimize and isinstance(node.child, Join) and self.shards > 1:
+                warnings.warn(
+                    ShardedExecutionWarning(
+                        f"shards={self.shards} disables join-aggregate "
+                        "fusion; executing the Aggregate over the Join "
+                        "unfused (results are identical, the fusion "
+                        "credit is not applied)"
+                    ),
+                    stacklevel=2,
+                )
             child = self._run(node.child, trace, optimize)
             return self._run_aggregate(node, child, trace)
         raise JoinConfigError(f"unknown plan node {type(node).__name__}")
@@ -227,6 +265,38 @@ class QueryExecutor:
                 )
             )
             return result.output
+        if self.fault_plan is not None:
+            from ..faults.recovery import resilient_join
+
+            with self._operator_span(node.describe()) as span:
+                result = resilient_join(
+                    left,
+                    right,
+                    algorithm=node.algorithm,
+                    device=self.device,
+                    config=config,
+                    seed=self.seed,
+                    fault_plan=self.fault_plan,
+                )
+            description = f"Join[{result.algorithm}]"
+            if projection is not None:
+                description += f" <- pushed {pushed_from}"
+            if span is not None:
+                span.name = description
+                span.args.update(
+                    rows=result.matches,
+                    algorithm=result.algorithm,
+                    degraded=result.degraded,
+                )
+            trace.append(
+                OperatorTrace(
+                    description,
+                    result.total_seconds,
+                    result.matches,
+                    extras=result.extras,
+                )
+            )
+            return result.output
         algorithm = _resolve_join_algorithm(node.algorithm, left, right, config)
         with self._operator_span(node.describe()) as span:
             result = algorithm.join(left, right, device=self.device, seed=self.seed)
@@ -285,6 +355,35 @@ class QueryExecutor:
                 )
             )
             return result.output
+        if self.fault_plan is not None:
+            from ..faults.recovery import resilient_group_by
+
+            with self._operator_span(node.describe()) as span:
+                result = resilient_group_by(
+                    keys,
+                    values,
+                    list(node.aggregates),
+                    algorithm=node.algorithm,
+                    device=self.device,
+                    seed=self.seed,
+                    fault_plan=self.fault_plan,
+                )
+            if span is not None:
+                span.name = f"Aggregate[{result.algorithm}]"
+                span.args.update(
+                    rows=result.groups,
+                    algorithm=result.algorithm,
+                    degraded=result.degraded,
+                )
+            trace.append(
+                OperatorTrace(
+                    f"Aggregate[{result.algorithm}]",
+                    result.total_seconds,
+                    result.groups,
+                    extras=result.extras,
+                )
+            )
+            return result.output
         algorithm = _resolve_groupby_algorithm(node.algorithm, keys, self.device)
         with self._operator_span(node.describe()) as span:
             result = algorithm.group_by(
@@ -316,16 +415,23 @@ class QueryExecutor:
         if node.algorithm != "auto":
             groupby_algorithm = make_groupby_algorithm(node.algorithm)
         pipeline = FusedJoinAggregate(join_algorithm, groupby_algorithm)
-        with self._operator_span("FusedJoinAggregate") as span:
-            result = pipeline.run(
-                left,
-                right,
-                group_column=node.group_column,
-                aggregates=list(node.aggregates),
-                device=self.device,
-                seed=self.seed,
-                fuse=True,
-            )
+        try:
+            with self._operator_span("FusedJoinAggregate") as span:
+                result = pipeline.run(
+                    left,
+                    right,
+                    group_column=node.group_column,
+                    aggregates=list(node.aggregates),
+                    device=self.device,
+                    seed=self.seed,
+                    fuse=True,
+                    fault_plan=self.fault_plan,
+                )
+        except DeviceOutOfMemoryError:
+            # Fusion needs the whole join+fold pipeline resident at once;
+            # under memory pressure, unfuse and recover each stage on its
+            # own degradation ladder (identical rows, credit forfeited).
+            return self._degrade_fused_aggregate(node, left, right, trace)
         description = (
             f"FusedJoinAggregate[{result.join_result.algorithm} + "
             f"{result.groupby_result.algorithm}]"
@@ -346,6 +452,72 @@ class QueryExecutor:
         )
         return result.output
 
+    def _degrade_fused_aggregate(
+        self, node: Aggregate, left: Relation, right: Relation,
+        trace: List[OperatorTrace],
+    ):
+        """Unfuse an OOMed fused pipeline and recover stage by stage."""
+        from dataclasses import replace
+
+        from ..faults.recovery import resilient_group_by, resilient_join
+
+        if self._session is not None:
+            self._session.count("faults_injected_oom")
+            self._session.count("degraded_operators")
+        needed = [node.group_column] + [
+            spec.column
+            for spec in node.aggregates
+            if spec.op != "count" and spec.column != node.group_column
+        ]
+        config = replace(self.config, projection=tuple(dict.fromkeys(needed)))
+        with self._operator_span(
+            "FusedJoinAggregate(degraded)", degraded=True
+        ) as span:
+            join_res = resilient_join(
+                left,
+                right,
+                algorithm=node.child.algorithm,
+                device=self.device,
+                config=config,
+                seed=self.seed,
+                fault_plan=self.fault_plan,
+            )
+            joined = join_res.output
+            keys = joined.column(node.group_column)
+            values = {
+                spec.column: joined.column(spec.column)
+                for spec in node.aggregates
+                if spec.op != "count"
+            }
+            agg_res = resilient_group_by(
+                keys,
+                values,
+                list(node.aggregates),
+                algorithm=node.algorithm,
+                device=self.device,
+                seed=self.seed,
+                fault_plan=self.fault_plan,
+            )
+        description = (
+            f"JoinAggregate[degraded {join_res.algorithm} + {agg_res.algorithm}]"
+        )
+        if span is not None:
+            span.name = description
+            span.args.update(rows=agg_res.groups, degraded=True)
+        trace.append(
+            OperatorTrace(
+                description,
+                join_res.total_seconds + agg_res.total_seconds,
+                agg_res.groups,
+                extras={
+                    "degraded": 1.0,
+                    "join_s": join_res.total_seconds,
+                    "aggregate_s": agg_res.total_seconds,
+                },
+            )
+        )
+        return agg_res.output
+
 
 def execute(
     plan: PlanNode,
@@ -355,14 +527,17 @@ def execute(
     optimize: bool = True,
     shards: int = 1,
     interconnect="nvlink-mesh",
+    fault_plan=None,
 ) -> QueryResult:
     """One-shot convenience around :class:`QueryExecutor`.
 
     ``shards=N`` executes every Join/Aggregate sharded across a
     simulated N-device cluster over *interconnect* (a name or an
-    :class:`~repro.cluster.topology.InterconnectSpec`).
+    :class:`~repro.cluster.topology.InterconnectSpec`);
+    ``fault_plan=`` injects a :class:`~repro.faults.FaultPlan` and
+    recovers via retries and graceful degradation.
     """
     return QueryExecutor(
         device=device, config=config, seed=seed, shards=shards,
-        interconnect=interconnect,
+        interconnect=interconnect, fault_plan=fault_plan,
     ).execute(plan, optimize=optimize)

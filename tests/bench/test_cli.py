@@ -17,6 +17,13 @@ class TestParser:
         assert args.experiments == ["fig01"]
         assert args.scale == pytest.approx(0.001)
 
+    def test_resilience_knobs(self):
+        args = build_parser().parse_args(
+            ["ext05", "--fault-seed", "11", "--capacity-frac", "0.05", "0.001"]
+        )
+        assert args.fault_seed == 11
+        assert args.capacity_frac == [pytest.approx(0.05), pytest.approx(0.001)]
+
 
 class TestMain:
     def test_no_args_lists_experiments(self, capsys):

@@ -156,6 +156,18 @@ class TestExtensionFindings:
     def test_fig18_costbased_planner(self, results):
         assert results("fig18").findings["costbased_accuracy"] >= 0.8
 
+    def test_ext04_scale_out_consistency(self, results):
+        result = results("ext04")
+        assert result.findings["results_bit_identical_all_points"] == 1.0
+        assert result.findings["one_device_cluster_matches_single"] == 1.0
+
+    def test_ext05_resilience(self, results):
+        result = results("ext05")
+        assert result.findings["results_bit_identical_all_points"] == 1.0
+        assert result.findings["capacity_pressure_degrades_not_raises"] == 1.0
+        assert result.findings["fault_free_point_matches_baseline"] == 1.0
+        assert result.findings["retry_overhead_monotone_in_rate"] == 1.0
+
 
 class TestAblationFindings:
     def test_abl01_lazy_saves_memory_not_time(self, results):

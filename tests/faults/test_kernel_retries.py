@@ -1,0 +1,112 @@
+"""Transient kernel faults at GPUContext.submit: retry accounting.
+
+The injection point must (a) never touch the data path, (b) charge
+every failed attempt plus exponential backoff to the simulated clock,
+and (c) surface the recovery as ``retry:*`` kernels, ``retry`` spans
+and ``fault_*`` counters — while the successful attempt's reported
+seconds stay exactly the fault-free cost.
+"""
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultPlan
+from repro.gpusim import GPUContext, KernelStats
+from repro.obs import TraceSession
+
+RATE = 0.4
+KERNELS = 40
+
+
+def _run(ctx):
+    per_kernel = []
+    for i in range(KERNELS):
+        stats = KernelStats(name=f"k{i}", items=1 << 12,
+                            seq_read_bytes=1 << 16)
+        per_kernel.append(ctx.submit(stats, phase="work"))
+    return per_kernel
+
+
+def test_reported_seconds_are_the_successful_attempt_only():
+    clean = _run(GPUContext())
+    faulty = _run(GPUContext(fault_plan=FaultPlan(seed=3, kernel_fault_rate=RATE)))
+    assert faulty == clean
+
+
+def test_retries_extend_the_timeline_deterministically():
+    plan = FaultPlan(seed=3, kernel_fault_rate=RATE)
+    base = GPUContext()
+    _run(base)
+    a = GPUContext(fault_plan=plan)
+    _run(a)
+    b = GPUContext(fault_plan=plan)
+    _run(b)
+    assert a.elapsed_seconds == b.elapsed_seconds
+    assert a.elapsed_seconds > base.elapsed_seconds
+
+
+def test_retry_records_carry_backoff_and_names():
+    plan = FaultPlan(seed=3, kernel_fault_rate=RATE)
+    ctx = GPUContext(fault_plan=plan)
+    _run(ctx)
+    retries = [r for r in ctx.timeline.records() if r.stats.name.startswith("retry:")]
+    assert retries, "rate 0.4 over 40 kernels must fire"
+    for record in retries:
+        attempt = record.extra["attempt"]
+        assert record.extra["fault"] == "transient-kernel"
+        assert 1 <= attempt <= plan.max_retries
+        # A failed attempt costs the kernel's full time plus backoff.
+        original = record.stats.name[len("retry:"):]
+        kernel_s = next(
+            r.seconds for r in ctx.timeline.records() if r.stats.name == original
+        )
+        assert record.seconds == pytest.approx(
+            kernel_s + plan.backoff_seconds(attempt - 1)
+        )
+
+
+def test_data_path_rng_is_untouched():
+    """Injection draws come from a private stream, never ctx.rng."""
+    clean = GPUContext(seed=11)
+    faulty = GPUContext(seed=11, fault_plan=FaultPlan(seed=3, kernel_fault_rate=RATE))
+    _run(clean)
+    _run(faulty)
+    assert np.array_equal(clean.rng.integers(0, 1 << 30, 64),
+                          faulty.rng.integers(0, 1 << 30, 64))
+
+
+def test_zero_rate_plan_is_a_noop():
+    clean = GPUContext()
+    planned = GPUContext(fault_plan=FaultPlan(seed=3))
+    _run(clean)
+    _run(planned)
+    assert planned.elapsed_seconds == clean.elapsed_seconds
+    assert planned.faults.events == []
+
+
+def test_counters_and_spans_reach_the_trace_session():
+    plan = FaultPlan(seed=3, kernel_fault_rate=RATE)
+    with TraceSession("retries") as session:
+        ctx = GPUContext(fault_plan=plan)
+        _run(ctx)
+    injected = session.metrics.value("faults_injected_kernel")
+    retries = session.metrics.value("fault_kernel_retries")
+    retry_s = session.metrics.value("fault_retry_seconds")
+    assert injected > 0
+    assert retries >= injected  # an event may charge several attempts
+    assert retry_s > 0
+    spans = session.spans(category="retry")
+    assert len(spans) == int(retries)
+    for _, span in spans:
+        assert span.name.startswith("retry:")
+        assert span.args["backoff_s"] > 0
+    # The injector's own audit log agrees with the session counters.
+    assert sum(e.attempts - 1 for e in ctx.faults.events) == int(retries)
+
+
+def test_fork_inherits_the_fault_plan():
+    plan = FaultPlan(seed=3, kernel_fault_rate=RATE)
+    ctx = GPUContext(fault_plan=plan)
+    child = ctx.fork(seed=0)
+    assert child.fault_plan is plan
+    assert child.faults is not None

@@ -1,0 +1,161 @@
+"""FaultPlan / FaultInjector: determinism, validation, site isolation."""
+
+import zlib
+
+import pytest
+
+from repro.errors import FaultPlanError
+from repro.faults import FaultPlan, site_seed
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field", ["kernel_fault_rate", "link_failure_rate",
+                  "straggler_rate", "device_failure_rate"]
+    )
+    @pytest.mark.parametrize("rate", [-0.1, 1.0, 1.5])
+    def test_rates_must_be_in_unit_interval(self, field, rate):
+        with pytest.raises(FaultPlanError, match=field):
+            FaultPlan(**{field: rate})
+
+    @pytest.mark.parametrize("frac", [0.0, -0.5, 1.5])
+    def test_capacity_frac_range(self, frac):
+        with pytest.raises(FaultPlanError, match="capacity_frac"):
+            FaultPlan(capacity_frac=frac)
+
+    def test_straggler_slowdown_at_least_one(self):
+        with pytest.raises(FaultPlanError, match="straggler_slowdown"):
+            FaultPlan(straggler_slowdown=0.5)
+
+    def test_max_retries_at_least_one(self):
+        with pytest.raises(FaultPlanError, match="max_retries"):
+            FaultPlan(max_retries=0)
+
+    def test_negative_backoff_rejected(self):
+        with pytest.raises(FaultPlanError, match="backoff_base_s"):
+            FaultPlan(backoff_base_s=-1e-6)
+
+    def test_default_plan_injects_nothing(self):
+        assert not FaultPlan().injects_anything
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"kernel_fault_rate": 0.1},
+            {"capacity_frac": 0.5},
+            {"link_failure_rate": 0.1},
+            {"straggler_rate": 0.1},
+            {"device_failure_rate": 0.1},
+        ],
+    )
+    def test_any_rate_makes_it_inject(self, kwargs):
+        assert FaultPlan(**kwargs).injects_anything
+
+
+class TestDeterminism:
+    def test_site_seed_is_crc32_mix(self):
+        # Platform-independent by construction: crc32 is stable.
+        assert site_seed(0, "gpu") == zlib.crc32(b"gpu")
+        assert site_seed(3, "gpu") == 3 ^ zlib.crc32(b"gpu")
+
+    def test_same_seed_same_site_same_draws(self):
+        # A fresh injector from an equal plan replays the stream exactly.
+        a = FaultPlan(seed=42, kernel_fault_rate=0.5).injector("gpu0")
+        b = FaultPlan(seed=42, kernel_fault_rate=0.5).injector("gpu0")
+        assert [a.kernel_faults(f"k{i}") for i in range(20)] == [
+            b.kernel_faults(f"k{i}") for i in range(20)
+        ]
+
+    def test_different_sites_draw_independent_streams(self):
+        plan = FaultPlan(seed=42, kernel_fault_rate=0.5)
+        a = plan.injector("gpu0")
+        b = plan.injector("gpu1")
+        stream_a = [a.kernel_faults(f"k{i}") for i in range(50)]
+        stream_b = [b.kernel_faults(f"k{i}") for i in range(50)]
+        assert stream_a != stream_b  # overwhelmingly likely at rate 0.5
+
+    def test_draws_at_one_site_do_not_perturb_another(self):
+        plan = FaultPlan(seed=7, kernel_fault_rate=0.5)
+        solo = plan.injector("gpu1")
+        expected = [solo.kernel_faults(f"k{i}") for i in range(20)]
+        noisy_other = plan.injector("gpu0")
+        for i in range(100):
+            noisy_other.kernel_faults(f"noise{i}")
+        fresh = plan.injector("gpu1")
+        assert [fresh.kernel_faults(f"k{i}") for i in range(20)] == expected
+
+    def test_different_seeds_differ(self):
+        a = FaultPlan(seed=1, kernel_fault_rate=0.5).injector("gpu")
+        b = FaultPlan(seed=2, kernel_fault_rate=0.5).injector("gpu")
+        assert [a.kernel_faults(f"k{i}") for i in range(50)] != [
+            b.kernel_faults(f"k{i}") for i in range(50)
+        ]
+
+
+class TestInjectorBehavior:
+    def test_zero_rate_never_fires(self):
+        injector = FaultPlan(seed=0).injector("gpu")
+        assert all(injector.kernel_faults(f"k{i}") == 0 for i in range(100))
+        assert injector.events == []
+        assert injector.counts == {}
+
+    def test_failures_capped_at_max_retries(self):
+        plan = FaultPlan(seed=0, kernel_fault_rate=0.99, max_retries=3)
+        injector = plan.injector("gpu")
+        draws = [injector.kernel_faults(f"k{i}") for i in range(200)]
+        assert max(draws) <= 3
+        assert any(draws)  # at 0.99 something must fire
+
+    def test_events_record_site_kind_and_attempts(self):
+        plan = FaultPlan(seed=0, kernel_fault_rate=0.9)
+        injector = plan.injector("gpu3")
+        failures = 0
+        name = None
+        for i in range(50):
+            got = injector.kernel_faults(f"k{i}")
+            if got:
+                failures, name = got, f"k{i}"
+                break
+        event = injector.events[0]
+        assert event.kind == "kernel"
+        assert event.site == "gpu3"
+        assert event.detail == name
+        assert event.attempts == failures + 1
+        assert injector.counts["kernel"] >= 1
+
+    def test_straggler_factor_is_one_or_slowdown(self):
+        plan = FaultPlan(seed=0, straggler_rate=0.5, straggler_slowdown=4.0)
+        injector = plan.injector("cluster")
+        factors = {injector.straggler_factor(f"d{i}") for i in range(100)}
+        assert factors == {1.0, 4.0}
+
+
+class TestPlanArithmetic:
+    def test_backoff_is_exponential(self):
+        plan = FaultPlan(backoff_base_s=1e-4)
+        assert plan.backoff_seconds(0) == 1e-4
+        assert plan.backoff_seconds(1) == 2e-4
+        assert plan.backoff_seconds(2) == 4e-4
+
+    def test_capacity_bytes_scales_device(self):
+        from repro.gpusim import A100
+
+        plan = FaultPlan(capacity_frac=0.25)
+        assert plan.capacity_bytes(A100) == int(A100.global_mem_bytes * 0.25)
+        assert FaultPlan().capacity_bytes(A100) is None
+
+    def test_without_capacity_strips_only_capacity(self):
+        plan = FaultPlan(seed=5, kernel_fault_rate=0.2, capacity_frac=0.1,
+                         link_failure_rate=0.3)
+        stripped = plan.without_capacity()
+        assert stripped.capacity_frac is None
+        assert stripped.seed == 5
+        assert stripped.kernel_fault_rate == 0.2
+        assert stripped.link_failure_rate == 0.3
+        no_capacity = FaultPlan(seed=5)
+        assert no_capacity.without_capacity() is no_capacity
+
+    def test_plan_is_frozen(self):
+        plan = FaultPlan()
+        with pytest.raises(Exception):
+            plan.seed = 1

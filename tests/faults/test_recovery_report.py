@@ -1,0 +1,35 @@
+"""The recovery-overhead section of the per-operator report."""
+
+from repro.faults import FaultPlan
+from repro.gpusim import GPUContext, KernelStats
+from repro.obs import TraceSession, per_operator_report, recovery_summary
+
+
+def _run_some_kernels(fault_plan=None):
+    with TraceSession("report") as session:
+        ctx = GPUContext(fault_plan=fault_plan)
+        for i in range(40):
+            ctx.submit(KernelStats(name=f"k{i}", items=1 << 12,
+                                   seq_read_bytes=1 << 16))
+    return session
+
+
+def test_fault_free_session_has_no_recovery_section():
+    session = _run_some_kernels()
+    assert recovery_summary(session) == []
+    assert "recovery overhead" not in per_operator_report(session)
+
+
+def test_recovery_section_breaks_down_fault_kinds():
+    session = _run_some_kernels(FaultPlan(seed=3, kernel_fault_rate=0.4))
+    lines = recovery_summary(session)
+    text = "\n".join(lines)
+    assert "-- recovery overhead --" in text
+    assert "kernel faults injected" in text
+    assert "kernel retries" in text
+    assert "kernel retry seconds" in text
+    assert "total recovery seconds" in text
+    assert "recovery share of session clock" in text
+    # Zero counters stay out of the table (no cluster faults here).
+    assert "superstep replays" not in text
+    assert per_operator_report(session).endswith(text)

@@ -39,6 +39,22 @@ class TestEnforcedCapacity:
         assert info.value.capacity == 4096
         assert info.value.requested > 0
 
+    def test_oom_error_names_live_join_state(self, relations):
+        """The enriched OOM report points at the arrays actually holding
+        device memory when a real join runs out."""
+        r, s = relations
+        ctx = GPUContext(device=A100, mem_capacity=32 << 10,
+                         enforce_capacity=True)
+        with pytest.raises(DeviceOutOfMemoryError) as info:
+            SortMergeJoinUM().join(r, s, ctx=ctx)
+        err = info.value
+        assert err.label  # the allocation that tipped over is named
+        assert err.top_live, "live allocations should be attached"
+        nbytes = [n for _, n in err.top_live]
+        assert nbytes == sorted(nbytes, reverse=True)
+        assert sum(nbytes) == err.in_use
+        assert err.top_live[0][0] in str(err)
+
     def test_default_context_does_not_enforce(self, relations):
         r, s = relations
         ctx = GPUContext(device=A100.with_overrides(global_mem_bytes=1))

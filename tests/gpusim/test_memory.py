@@ -120,6 +120,40 @@ class TestCapacity:
         assert info.value.in_use == 60
         assert info.value.capacity == 100
 
+    def test_oom_names_failing_label_and_live_allocations(self):
+        mem = DeviceMemory(capacity_bytes=100)
+        mem.alloc(40, np.int8, "build_table")
+        mem.alloc(20, np.int8, "probe_keys")
+        with pytest.raises(DeviceOutOfMemoryError) as info:
+            mem.alloc(60, np.int8, "matches")
+        err = info.value
+        assert err.label == "matches"
+        assert err.top_live == [("build_table", 40), ("probe_keys", 20)]
+        message = str(err)
+        assert "'matches'" in message
+        assert "build_table=40 B" in message
+
+    def test_oom_top_live_sorted_largest_first_ties_on_label(self):
+        mem = DeviceMemory(capacity_bytes=100)
+        mem.alloc(30, np.int8, "b_array")
+        mem.alloc(30, np.int8, "a_array")
+        mem.alloc(40, np.int8, "big")
+        with pytest.raises(DeviceOutOfMemoryError) as info:
+            mem.alloc(1, np.int8)
+        assert info.value.top_live == [
+            ("big", 40), ("a_array", 30), ("b_array", 30)
+        ]
+
+    def test_oom_message_truncates_to_top_live_limit(self):
+        mem = DeviceMemory(capacity_bytes=80)
+        for i in range(DeviceOutOfMemoryError.TOP_LIVE_LIMIT + 2):
+            mem.alloc(10, np.int8, f"chunk{i}")
+        with pytest.raises(DeviceOutOfMemoryError) as info:
+            mem.alloc(60, np.int8)
+        err = info.value
+        assert len(err.top_live) == DeviceOutOfMemoryError.TOP_LIVE_LIMIT + 2
+        assert "(+2 more)" in str(err)
+
     def test_free_makes_room(self):
         mem = DeviceMemory(capacity_bytes=100)
         a = mem.alloc(80, np.int8)

@@ -1,0 +1,151 @@
+"""Property-based tests for the DeviceMemory allocator (hypothesis).
+
+The fault framework leans on the allocator being exactly right: the
+capacity_frac injection point shrinks ``capacity_bytes`` and the whole
+graceful-degradation ladder keys off the resulting
+:class:`DeviceOutOfMemoryError`.  These properties pin the allocator's
+accounting invariants under arbitrary alloc/free interleavings, beyond
+the example-based cases in test_memory.py.
+"""
+
+import numpy as np
+import pytest
+
+pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.errors import AllocationError, DeviceOutOfMemoryError
+from repro.gpusim.memory import DeviceMemory
+
+sizes = st.integers(min_value=1, max_value=4096)
+labels = st.sampled_from(["", "keys", "payload", "hash_table", "matches"])
+
+
+class DeviceMemoryMachine(RuleBasedStateMachine):
+    """Arbitrary alloc/free interleavings preserve the accounting."""
+
+    def __init__(self):
+        super().__init__()
+        self.mem = DeviceMemory()
+        self.live = []
+        self.freed = []
+        self.model_peak = 0
+
+    @rule(size=sizes, label=labels)
+    def alloc(self, size, label):
+        arr = self.mem.alloc(size, np.int8, label)
+        self.live.append(arr)
+        self.model_peak = max(self.model_peak, self._model_bytes())
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def free(self, data):
+        index = data.draw(st.integers(0, len(self.live) - 1), label="victim")
+        arr = self.live.pop(index)
+        self.mem.free(arr)
+        self.freed.append(arr)
+
+    @precondition(lambda self: self.freed)
+    @rule(data=st.data())
+    def double_free_rejected(self, data):
+        index = data.draw(st.integers(0, len(self.freed) - 1), label="victim")
+        with pytest.raises(AllocationError):
+            self.mem.free(self.freed[index])
+
+    @precondition(lambda self: self.freed)
+    @rule(data=st.data())
+    def use_after_free_rejected(self, data):
+        index = data.draw(st.integers(0, len(self.freed) - 1), label="victim")
+        with pytest.raises(AllocationError):
+            _ = self.freed[index].data
+
+    def _model_bytes(self):
+        return sum(arr.nbytes for arr in self.live)
+
+    @invariant()
+    def bytes_conserved(self):
+        assert self.mem.current_bytes == self._model_bytes()
+        assert self.mem.live_count == len(self.live)
+
+    @invariant()
+    def peak_is_high_water_mark(self):
+        assert self.mem.peak_bytes == self.model_peak
+        assert self.mem.peak_bytes >= self.mem.current_bytes
+
+    @invariant()
+    def counts_balance(self):
+        assert self.mem.alloc_count - self.mem.free_count == len(self.live)
+
+    @invariant()
+    def live_allocations_sorted_and_complete(self):
+        pairs = self.mem.live_allocations()
+        assert sorted(pairs, key=lambda p: (-p[1], p[0])) == pairs
+        assert sum(n for _, n in pairs) == self.mem.current_bytes
+
+
+TestDeviceMemoryMachine = DeviceMemoryMachine.TestCase
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(sizes, min_size=1, max_size=32), st.integers(1, 1 << 16))
+def test_capacity_never_exceeded(allocation_sizes, capacity):
+    """With a capacity the allocator either admits or raises — usage can
+    never cross capacity, and a refused allocation changes nothing."""
+    mem = DeviceMemory(capacity_bytes=capacity)
+    for size in allocation_sizes:
+        before = mem.current_bytes
+        try:
+            mem.alloc(size, np.int8)
+        except DeviceOutOfMemoryError as err:
+            assert before + size > capacity
+            assert mem.current_bytes == before
+            assert err.requested == size
+            assert err.in_use == before
+            assert err.capacity == capacity
+            assert sum(n for _, n in err.top_live) == before
+        else:
+            assert mem.current_bytes == before + size
+        assert mem.current_bytes <= capacity
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.sampled_from(["spill", "scratch", "output"]),
+        min_size=1,
+        max_size=8,
+    ),
+    st.sets(st.sampled_from(["spill", "scratch", "output"])),
+)
+def test_assert_no_leaks_honors_allowed_labels(live_labels, allowed):
+    mem = DeviceMemory()
+    for label in live_labels:
+        mem.alloc(1, np.int8, label)
+    if set(live_labels) <= allowed:
+        mem.assert_no_leaks(allowed_labels=allowed)
+    else:
+        with pytest.raises(AllocationError) as info:
+            mem.assert_no_leaks(allowed_labels=allowed)
+        leaked = next(l for l in live_labels if l not in allowed)
+        assert leaked in str(info.value)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(sizes, min_size=1, max_size=16))
+def test_free_all_then_reset_clears_everything(allocation_sizes):
+    mem = DeviceMemory()
+    arrays = [mem.alloc(size, np.int8) for size in allocation_sizes]
+    assert mem.peak_bytes == sum(allocation_sizes)
+    mem.free_all(arrays)
+    assert mem.current_bytes == 0
+    assert mem.live_count == 0
+    mem.reset_peak()
+    assert mem.peak_bytes == 0
+    mem.assert_no_leaks()
