@@ -1,0 +1,17 @@
+"""ext05: resilience sweep under injected faults and memory pressure.
+
+Regenerates the experiment table into ``bench_results/ext05.txt``.
+Run: ``pytest benchmarks/bench_ext05.py --benchmark-only -s``
+"""
+
+from repro.bench.experiments import ext05
+
+from _common import SWEEP_SCALE, run_and_report
+
+
+def test_ext05(benchmark):
+    result = run_and_report(benchmark, ext05.run, SWEEP_SCALE)
+    assert result.findings["results_bit_identical_all_points"] == 1.0
+    assert result.findings["capacity_pressure_degrades_not_raises"] == 1.0
+    assert result.findings["fault_free_point_matches_baseline"] == 1.0
+    assert result.findings["retry_overhead_monotone_in_rate"] == 1.0

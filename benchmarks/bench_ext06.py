@@ -1,0 +1,18 @@
+"""ext06: serving throughput over concurrent streams and caches.
+
+Regenerates the experiment table into ``bench_results/ext06.txt``.
+Run: ``pytest benchmarks/bench_ext06.py --benchmark-only -s``
+"""
+
+from repro.bench.experiments import ext06
+
+from _common import SWEEP_SCALE, run_and_report
+
+
+def test_ext06(benchmark):
+    result = run_and_report(benchmark, ext06.run, SWEEP_SCALE)
+    assert result.findings["results_bit_identical_all_paths"] == 1.0
+    assert result.findings["throughput_gain_at_4_streams"] > 1.0
+    assert result.findings["caching_speedup_at_same_streams"] > 1.0
+    assert result.findings["open_loop_backpressure_rejections"] > 0
+    assert result.findings["faulted_queries_all_complete"] == 1.0

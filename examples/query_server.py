@@ -1,0 +1,110 @@
+"""Multi-tenant serving: concurrent streams, caches, admission control.
+
+Stands up a :class:`repro.QueryServer` over two relations and walks the
+serving story end to end — a concurrent closed-loop burst vs. serial
+execution, result-cache hits after repeats, invalidation on relation
+update, backpressure under a tiny admission queue, and a fault-injected
+query that degrades alone while its neighbours finish untouched.
+
+Everything is simulated time on one process; outputs are bit-identical
+to one-at-a-time ``execute()`` throughout.
+
+Run: ``python examples/query_server.py``
+"""
+
+import numpy as np
+
+from repro import AdmissionError, QueryServer, Relation
+from repro.faults import FaultPlan
+from repro.query import Join, Scan, execute
+
+rng = np.random.default_rng(11)
+
+num_users = 30_000
+users = Relation.from_key_payloads(
+    rng.permutation(num_users).astype(np.int32),
+    [rng.integers(0, 40, num_users).astype(np.int32)],
+    payload_prefix="u",
+    name="users",
+)
+num_events = 120_000
+events = Relation.from_key_payloads(
+    rng.integers(0, num_users, num_events).astype(np.int32),
+    [rng.integers(1, 1000, num_events).astype(np.int32)],
+    payload_prefix="e",
+    name="events",
+)
+
+plan = Join(Scan(users), Scan(events))
+
+# --- Concurrency: a closed-loop burst vs. serial execution -------------
+serial = QueryServer(streams=1, seed=0, enable_plan_cache=False,
+                     enable_result_cache=False)
+concurrent = QueryServer(streams=4, seed=0, enable_plan_cache=False,
+                         enable_result_cache=False)
+for server in (serial, concurrent):
+    for _ in range(8):
+        server.submit(plan, at_s=0.0)
+    server.run()
+speedup = serial.report().makespan_s / concurrent.report().makespan_s
+print("Served 8 concurrent joins:")
+print(f"  1 stream : {serial.report().makespan_s * 1e3:8.3f} ms makespan")
+print(f"  4 streams: {concurrent.report().makespan_s * 1e3:8.3f} ms makespan "
+      f"({speedup:.2f}x)")
+print(f"  mean stretch at 4 streams: "
+      f"{concurrent.report().mean_stretch:.2f}x per query")
+
+# --- Caching: repeats collapse to a lookup -----------------------------
+server = QueryServer(streams=4, seed=0)
+server.register("users", users)
+server.register("events", events)
+first = server.query(plan)
+again = server.query(plan)
+assert again.result_cache_hit and not first.result_cache_hit
+assert first.output.equals_unordered(again.output)
+print(f"\nResult cache: {first.service_s * 1e3:.3f} ms cold, "
+      f"{again.service_s * 1e3:.6f} ms hot")
+
+# Updating a registered relation evicts every dependent entry — a stale
+# read is structurally impossible.
+events2 = Relation.from_key_payloads(
+    rng.integers(0, num_users, num_events).astype(np.int32),
+    [rng.integers(1, 1000, num_events).astype(np.int32)],
+    payload_prefix="e",
+    name="events-v2",
+)
+evicted = server.update("events", events2)
+fresh = server.query(Join(Scan(users), Scan(events2)))
+print(f"update('events') invalidated {evicted} cache entries; "
+      f"next query re-executed: cache_hit={fresh.result_cache_hit}")
+
+# --- Backpressure: a saturated admission queue rejects, typed ----------
+tiny = QueryServer(streams=1, queue_depth=1, seed=0)
+for _ in range(5):
+    tiny.submit(plan, at_s=0.0)
+outcomes = tiny.run()
+rejected = [o for o in outcomes if o.status == "rejected"]
+assert all(isinstance(o.error, AdmissionError) for o in rejected)
+print(f"\nOverload: {len(outcomes) - len(rejected)} served, "
+      f"{len(rejected)} rejected with "
+      f"AdmissionError(reason={rejected[0].error.reason!r})")
+
+# --- Faults degrade one tenant, never the server -----------------------
+mixed = QueryServer(streams=2, seed=0)
+faulty_id = mixed.submit(plan, at_s=0.0,
+                         fault_plan=FaultPlan(seed=3, kernel_fault_rate=0.3),
+                         tag="faulty")
+clean_id = mixed.submit(plan, at_s=0.0, tag="clean")
+by_id = {o.query_id: o for o in mixed.run()}
+oracle = execute(plan, seed=0)
+for query_id in (faulty_id, clean_id):
+    outcome = by_id[query_id]
+    assert outcome.status == "completed"
+    assert outcome.output.equals_unordered(oracle.output)
+print(f"\nFault injection: 'faulty' retried its kernels "
+      f"(stretch {by_id[faulty_id].stretch:.2f}x) while 'clean' ran "
+      f"{by_id[clean_id].solo_seconds * 1e3:.3f} ms solo work unharmed; "
+      f"both match execute() exactly")
+
+print(f"\nServed {sum(s.report().completed for s in (serial, concurrent, server, tiny, mixed))} "
+      f"queries across 5 servers on the simulated clock")

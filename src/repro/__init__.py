@@ -17,7 +17,7 @@ from .aggregation import (
     SortGroupBy,
     recommend_groupby_algorithm,
 )
-from .api import group_by, join
+from .api import group_by, join, query_server
 from .cluster import (
     ClusterContext,
     ClusterSpec,
@@ -29,6 +29,7 @@ from .cluster import (
     write_cluster_trace,
 )
 from .errors import (
+    AdmissionError,
     AggregationConfigError,
     DeviceOutOfMemoryError,
     FaultPlanError,
@@ -36,8 +37,15 @@ from .errors import (
     InvalidRelationError,
     JoinConfigError,
     ReproError,
+    ServeConfigError,
     ShardedExecutionWarning,
     WorkloadError,
+)
+from .serve import (
+    QueryServer,
+    QueryTemplate,
+    WorkloadDriver,
+    write_serve_trace,
 )
 from .faults import FaultPlan, resilient_group_by, resilient_join
 from .gpusim import A100, CPU_SERVER, RTX3090, DeviceSpec, GPUContext, scaled_device
@@ -68,6 +76,7 @@ __version__ = "1.0.0"
 __all__ = [
     "A100",
     "ALGORITHMS",
+    "AdmissionError",
     "AggSpec",
     "AggregationConfigError",
     "CPURadixJoin",
@@ -94,16 +103,21 @@ __all__ = [
     "PartitionedGroupBy",
     "PartitionedHashJoin",
     "PartitionedHashJoinUM",
+    "QueryServer",
+    "QueryTemplate",
     "RTX3090",
     "Relation",
     "ReproError",
+    "ServeConfigError",
     "SortGroupBy",
     "SortMergeJoinOM",
     "SortMergeJoinUM",
     "TraceSession",
+    "WorkloadDriver",
     "WorkloadError",
     "group_by",
     "join",
+    "query_server",
     "per_operator_report",
     "recommend_groupby_algorithm",
     "recommend_join_algorithm",
@@ -116,4 +130,5 @@ __all__ = [
     "write_chrome_trace",
     "write_cluster_trace",
     "write_counters_csv",
+    "write_serve_trace",
 ]

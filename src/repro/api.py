@@ -46,6 +46,34 @@ def _resolve_device(device: Union[str, DeviceSpec]) -> DeviceSpec:
     return get_device(device)
 
 
+def query_server(device: Union[str, DeviceSpec] = A100, **kwargs):
+    """A :class:`~repro.serve.server.QueryServer` on *device*.
+
+    The serving layer multiplexes concurrent queries over logical
+    streams with admission control and plan/result caching; every knob
+    of :class:`~repro.serve.server.QueryServer` passes through
+    (``streams=``, ``queue_depth=``, ``shards=``, ...).
+
+    >>> import numpy as np
+    >>> from repro import Relation, query_server
+    >>> from repro.query.plan import Join, Scan
+    >>> r = Relation.from_key_payloads(
+    ...     np.arange(64, dtype=np.int32),
+    ...     [np.arange(64, dtype=np.int32)], payload_prefix="r")
+    >>> s = Relation.from_key_payloads(
+    ...     np.arange(64, dtype=np.int32).repeat(2),
+    ...     [np.arange(128, dtype=np.int32)], payload_prefix="s")
+    >>> server = query_server(streams=2, seed=0)
+    >>> _ = server.register("r", r); _ = server.register("s", s)
+    >>> outcome = server.query(Join(Scan(r), Scan(s), algorithm="PHJ-OM"))
+    >>> outcome.status, outcome.output.num_rows
+    ('completed', 128)
+    """
+    from .serve.server import QueryServer
+
+    return QueryServer(device=_resolve_device(device), **kwargs)
+
+
 def _check_sharded_fault_plan(fault_plan, shards: int) -> None:
     """Warn when sharding strips a plan's single-device OOM pressure."""
     if fault_plan is not None and fault_plan.capacity_frac is not None:

@@ -52,6 +52,18 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--streams",
+        type=int,
+        nargs="+",
+        metavar="N",
+        default=None,
+        help=(
+            "logical stream counts for serving experiments "
+            "(e.g. --streams 1 2 4 8 16); forwarded to experiments that "
+            "take a 'streams' knob (ext06)"
+        ),
+    )
+    parser.add_argument(
         "--fault-seed",
         type=int,
         default=None,
@@ -114,6 +126,8 @@ def main(argv=None) -> int:
         params = inspect.signature(runner).parameters
         if args.devices is not None and "devices" in params:
             kwargs["devices"] = tuple(args.devices)
+        if args.streams is not None and "streams" in params:
+            kwargs["streams"] = tuple(args.streams)
         if args.fault_seed is not None and "fault_seed" in params:
             kwargs["fault_seed"] = args.fault_seed
         if args.capacity_frac is not None and "capacity_fracs" in params:

@@ -1,0 +1,265 @@
+"""ext06: serving throughput — concurrent streams, caches, backpressure.
+
+The paper benchmarks one operator at a time; this extension measures
+the serving layer built on top of it (:mod:`repro.serve`): N logical
+streams share the simulated device under a bandwidth-occupancy model,
+admission control reserves memory and bounds the queue, and repeated
+Zipf-popular templates flow through the plan and result caches.
+
+The sweep holds the workload fixed (a closed-loop template mix, one
+seed) and varies the serving configuration:
+
+* ``closed`` rows sweep the stream count with caches disabled — the
+  pure scheduling effect.  Serial back-to-back service is the
+  ``streams=1`` row; concurrency wins exactly as much as the occupancy
+  model's saturating aggregate rate allows (``k * share(k)``), so
+  throughput must rise with streams and the mean *stretch* (service
+  time over solo time) must rise with contention.
+* the ``cached`` row re-enables both caches: hot templates hit and the
+  makespan collapses below the uncached run.
+* the ``open-loop`` row drives Poisson arrivals at ~4x the measured
+  cached service rate into a shallow queue — the admission bound
+  surfaces as rejected queries (backpressure), not as unbounded
+  latency.
+* the ``faults`` row injects transient kernel faults into every query;
+  recovery retries stretch individual queries but every query still
+  completes, and (as everywhere) outputs match the fault-free rows.
+
+Every completed query's output is checked bit-identical to a direct
+``execute()`` of its template (faulted joins: identical up to row
+order, the fault framework's contract), which is the serving layer's
+core invariant: scheduling and caching re-time queries, never re-answer
+them.  All latency percentiles are on the *simulated* clock.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...aggregation.base import AggSpec
+from ...faults import FaultPlan
+from ...query.executor import execute
+from ...query.plan import Aggregate, Join, Project, Scan
+from ...relational.relation import Relation
+from ...serve.driver import QueryTemplate, WorkloadDriver
+from ...serve.server import QueryServer
+from ...serve.trace import write_serve_trace
+from ...workloads.generators import JoinWorkloadSpec, generate_join_workload
+from ..harness import DEFAULT_SCALE, ExperimentResult, Setup, make_setup
+
+#: Serving queries are interactive-scale: 1/8 the microbenchmark rows.
+PAPER_ROWS = 1 << 24
+STREAMS = (1, 2, 4, 8)
+NUM_QUERIES = 24
+ZIPF_FACTOR = 1.1
+FAULT_RATE = 0.2
+#: Open-loop overload: arrival rate as a multiple of measured capacity.
+OVERLOAD = 4.0
+OVERLOAD_QUEUE_DEPTH = 4
+
+
+def _make_templates(setup: Setup, seed: int):
+    spec = JoinWorkloadSpec(
+        r_rows=setup.rows(PAPER_ROWS),
+        s_rows=setup.rows(PAPER_ROWS),
+        r_payload_columns=2,
+        s_payload_columns=2,
+        seed=seed,
+    )
+    r, s = generate_join_workload(spec)
+    spec2 = JoinWorkloadSpec(
+        r_rows=setup.rows(PAPER_ROWS) // 2,
+        s_rows=setup.rows(PAPER_ROWS) // 2,
+        r_payload_columns=1,
+        s_payload_columns=1,
+        seed=seed + 1,
+    )
+    r2, s2 = generate_join_workload(spec2)
+    catalog = {"r": r, "s": s, "r2": r2, "s2": s2}
+    templates = [
+        QueryTemplate("join-hot", Join(Scan(r), Scan(s))),
+        QueryTemplate(
+            "agg",
+            Aggregate(
+                Join(Scan(r), Scan(s)),
+                group_column="r1",
+                aggregates=(AggSpec("s1", "sum"), AggSpec("s2", "max")),
+            ),
+        ),
+        QueryTemplate("proj", Project(Join(Scan(r), Scan(s)), ("r1", "s1"))),
+        QueryTemplate("join-cold", Join(Scan(r2), Scan(s2))),
+    ]
+    return catalog, templates
+
+
+def _make_server(setup: Setup, seed: int, streams: int, caches: bool,
+                 catalog, queue_depth: int = 256) -> QueryServer:
+    server = QueryServer(
+        streams=streams,
+        device=setup.device,
+        config=setup.config,
+        seed=seed,
+        queue_depth=queue_depth,
+        enable_plan_cache=caches,
+        enable_result_cache=caches,
+    )
+    for name, relation in catalog.items():
+        server.register(name, relation)
+    return server
+
+
+def _outputs_equal(a, b, unordered: bool = False) -> bool:
+    if isinstance(a, Relation):
+        if unordered:
+            return a.equals_unordered(b)
+        return a.column_names == b.column_names and all(
+            np.array_equal(a.column(c), b.column(c)) for c in a.column_names
+        )
+    return set(a) == set(b) and all(np.array_equal(a[k], b[k]) for k in a)
+
+
+def _add_row(result: ExperimentResult, mode: str, streams: int, caches: bool,
+             report) -> None:
+    result.add_row(
+        mode,
+        streams,
+        "on" if caches else "off",
+        report.submitted,
+        report.completed,
+        report.rejected,
+        report.makespan_s * 1e3,
+        report.throughput_qps,
+        report.latency_p50_s * 1e3,
+        report.latency_p95_s * 1e3,
+        report.latency_p99_s * 1e3,
+        report.mean_stretch,
+        int(report.counters.get("serve.result_cache_hits", 0)),
+    )
+
+
+def run(
+    scale: float = DEFAULT_SCALE,
+    seed: int = 0,
+    streams: Sequence[int] = STREAMS,
+    num_queries: int = NUM_QUERIES,
+    trace_dir: Optional[str] = None,
+) -> ExperimentResult:
+    setup = make_setup(scale)
+    result = ExperimentResult(
+        experiment_id="ext06",
+        title="Serving throughput: stream concurrency, caching, admission "
+        "control on the simulated clock",
+        headers=[
+            "mode", "streams", "caches", "queries", "done", "rej",
+            "makespan_ms", "qps", "p50_ms", "p95_ms", "p99_ms",
+            "stretch", "rc_hits",
+        ],
+    )
+    catalog, templates = _make_templates(setup, seed)
+    # Ground truth per template, produced by the unchanged executor.
+    direct = {
+        t.name: execute(
+            t.plan, device=setup.device, config=setup.config, seed=seed
+        ).output
+        for t in templates
+    }
+
+    def check_outcomes(server: QueryServer, unordered: bool = False) -> bool:
+        return all(
+            _outputs_equal(direct[o.tag], o.output, unordered=unordered)
+            for o in server.outcomes
+            if o.status == "completed" and o.tag in direct
+        )
+
+    identical = True
+    makespan_by_streams = {}
+    stretch_by_streams = {}
+    last_server = None
+    for count in streams:
+        server = _make_server(setup, seed, count, caches=False, catalog=catalog)
+        driver = WorkloadDriver(
+            server, templates, zipf_factor=ZIPF_FACTOR, seed=seed + 10
+        )
+        report = driver.run_closed_loop(num_queries).report
+        identical &= check_outcomes(server)
+        makespan_by_streams[count] = report.makespan_s
+        stretch_by_streams[count] = report.mean_stretch
+        _add_row(result, "closed", count, False, report)
+        last_server = server
+
+    cached_qps = 0.0
+    cached_makespan = None
+    wide = max(streams)
+    mid = 4 if 4 in streams else wide
+    server = _make_server(setup, seed, mid, caches=True, catalog=catalog)
+    driver = WorkloadDriver(
+        server, templates, zipf_factor=ZIPF_FACTOR, seed=seed + 10
+    )
+    report = driver.run_closed_loop(num_queries).report
+    identical &= check_outcomes(server)
+    cached_qps = report.throughput_qps
+    cached_makespan = report.makespan_s
+    _add_row(result, "cached", mid, True, report)
+    if trace_dir is not None:
+        write_serve_trace(server, f"{trace_dir}/ext06-cached.trace.json")
+
+    rejected = 0
+    if cached_qps > 0:
+        server = _make_server(
+            setup, seed, mid, caches=True, catalog=catalog,
+            queue_depth=OVERLOAD_QUEUE_DEPTH,
+        )
+        driver = WorkloadDriver(
+            server, templates, zipf_factor=ZIPF_FACTOR, seed=seed + 11
+        )
+        report = driver.run_open_loop(
+            num_queries, arrival_rate_qps=OVERLOAD * cached_qps
+        ).report
+        identical &= check_outcomes(server)
+        rejected = report.rejected
+        _add_row(result, "open-loop", mid, True, report)
+
+    fault_plan = FaultPlan(seed=seed + 17, kernel_fault_rate=FAULT_RATE)
+    server = _make_server(setup, seed, mid, caches=True, catalog=catalog)
+    rng = np.random.default_rng(seed + 12)
+    for index in range(num_queries):
+        template = templates[int(rng.integers(0, len(templates)))]
+        server.submit(template.plan, fault_plan=fault_plan, tag=template.name)
+    server.run()
+    fault_report = server.report()
+    faults_complete = fault_report.completed == fault_report.submitted
+    identical &= check_outcomes(server, unordered=True)
+    _add_row(result, "faults", mid, True, fault_report)
+
+    serial = makespan_by_streams[min(streams)]
+    result.findings["results_bit_identical_all_paths"] = float(identical)
+    if 4 in makespan_by_streams:
+        result.findings["throughput_gain_at_4_streams"] = (
+            serial / makespan_by_streams[4]
+        )
+    result.findings["throughput_gain_at_max_streams"] = (
+        serial / makespan_by_streams[wide]
+    )
+    result.findings["stretch_rises_with_contention"] = float(
+        stretch_by_streams[wide] >= stretch_by_streams[min(streams)]
+    )
+    if cached_makespan is not None and mid in makespan_by_streams:
+        result.findings["caching_speedup_at_same_streams"] = (
+            makespan_by_streams[mid] / cached_makespan
+        )
+    result.findings["open_loop_backpressure_rejections"] = float(rejected)
+    result.findings["faulted_queries_all_complete"] = float(faults_complete)
+    result.add_note(
+        "closed rows: caches off, so every query executes; the stream "
+        "sweep isolates the occupancy model (interference 0.6 -> "
+        "aggregate rate saturates at 1.67x serial)"
+    )
+    result.add_note(
+        "all percentiles are simulated seconds; identical seeds make "
+        "every row reproducible bit for bit"
+    )
+    if last_server is not None:
+        del last_server
+    return result

@@ -89,6 +89,28 @@ class GracefulDegradationError(ReproError):
         super().__init__(message)
 
 
+class ServeConfigError(ReproError):
+    """Raised when a :class:`~repro.serve.QueryServer` is configured with
+    invalid options (stream counts, queue depths, cache budgets)."""
+
+
+class AdmissionError(ReproError):
+    """Raised when the serving layer rejects a query at admission.
+
+    ``reason`` is a stable machine-readable tag:
+
+    * ``"queue-full"`` — the bounded admission queue is saturated
+      (backpressure: the client should retry later);
+    * ``"oversized"`` — the query's memory reservation exceeds the
+      server's total capacity, so it can never be admitted;
+    * ``"closed"`` — the server is not accepting requests.
+    """
+
+    def __init__(self, message: str, reason: str = "queue-full"):
+        self.reason = reason
+        super().__init__(message)
+
+
 class ShardedExecutionWarning(UserWarning):
     """Warned when ``shards > 1`` silently disables a requested
     optimization (e.g. join-aggregate fusion) rather than erroring."""

@@ -20,7 +20,7 @@ from .device import (
     scaled_device,
 )
 from .kernel import KernelRecord, KernelStats
-from .memory import DeviceArray, DeviceMemory
+from .memory import DeviceArray, DeviceMemory, MemoryReservation
 from .profiler import ProfileCounters, Profiler
 from .timeline import PHASES, PhaseTimeline
 
@@ -36,6 +36,7 @@ __all__ = [
     "GPUContext",
     "KernelRecord",
     "KernelStats",
+    "MemoryReservation",
     "PHASES",
     "PhaseTimeline",
     "ProfileCounters",

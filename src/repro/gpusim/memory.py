@@ -73,6 +73,45 @@ class DeviceArray:
         return f"DeviceArray({self.label!r}, {state})"
 
 
+class MemoryReservation:
+    """A bytes-only claim on a :class:`DeviceMemory` with no backing array.
+
+    The serving layer's admission controller reserves each admitted
+    query's estimated working set up front, so concurrent queries cannot
+    collectively over-commit the device.  A reservation participates in
+    capacity checks, current/peak accounting and the live-allocation
+    listing exactly like a :class:`DeviceArray`, but never materializes
+    host memory (reserving a simulated 40 GB costs nothing real).
+    """
+
+    __slots__ = ("nbytes", "label", "_allocator", "_freed")
+
+    def __init__(self, allocator: "DeviceMemory", nbytes: int, label: str):
+        self._allocator = allocator
+        self.nbytes = int(nbytes)
+        self.label = label
+        self._freed = False
+
+    @property
+    def freed(self) -> bool:
+        return self._freed
+
+    def free(self) -> None:
+        """Release the reserved bytes back to the device."""
+        self._allocator.release(self)
+
+    def __enter__(self) -> "MemoryReservation":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if not self._freed:
+            self.free()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "freed" if self._freed else f"{self.nbytes} B"
+        return f"MemoryReservation({self.label!r}, {state})"
+
+
 class DeviceMemory:
     """Tracking allocator for a simulated device.
 
@@ -88,10 +127,13 @@ class DeviceMemory:
         self.current_bytes = 0
         self.peak_bytes = 0
         self._live: Dict[int, DeviceArray] = {}
+        self._reservations: Dict[int, MemoryReservation] = {}
         self._phase_peaks: Dict[str, int] = {}
         self._current_phase: Optional[str] = None
         self.alloc_count = 0
         self.free_count = 0
+        self.reserve_count = 0
+        self.release_count = 0
 
     # -- allocation --------------------------------------------------------
 
@@ -131,6 +173,49 @@ class DeviceMemory:
         self.alloc_count += 1
         self._note_usage()
         return arr
+
+    def reserve(self, nbytes: int, label: str = "") -> MemoryReservation:
+        """Reserve *nbytes* of simulated capacity without a backing array.
+
+        Raises :class:`~repro.errors.DeviceOutOfMemoryError` exactly like
+        an allocation would when the reservation does not fit; release
+        with :meth:`MemoryReservation.free` (or use it as a context
+        manager).
+        """
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise AllocationError(f"cannot reserve {nbytes} bytes")
+        if (
+            self.capacity_bytes is not None
+            and self.current_bytes + nbytes > self.capacity_bytes
+        ):
+            raise DeviceOutOfMemoryError(
+                nbytes,
+                self.current_bytes,
+                self.capacity_bytes,
+                label=label,
+                top_live=self.live_allocations(),
+            )
+        reservation = MemoryReservation(self, nbytes, label)
+        self._reservations[id(reservation)] = reservation
+        self.current_bytes += nbytes
+        self.reserve_count += 1
+        self._note_usage()
+        return reservation
+
+    def release(self, reservation: MemoryReservation) -> None:
+        if reservation._freed:
+            raise AllocationError(
+                f"double release of reservation {reservation.label!r}"
+            )
+        if id(reservation) not in self._reservations:
+            raise AllocationError(
+                f"reservation {reservation.label!r} not owned by this allocator"
+            )
+        del self._reservations[id(reservation)]
+        self.current_bytes -= reservation.nbytes
+        self.release_count += 1
+        reservation._freed = True
 
     def free(self, arr: DeviceArray) -> None:
         if arr._freed:
@@ -181,24 +266,33 @@ class DeviceMemory:
 
     @property
     def live_labels(self) -> list:
-        """Labels of currently live arrays (debugging / leak tests)."""
-        return sorted(arr.label for arr in self._live.values())
+        """Labels of currently live arrays and reservations."""
+        return sorted(
+            [arr.label for arr in self._live.values()]
+            + [res.label for res in self._reservations.values()]
+        )
 
     def live_allocations(self) -> list:
         """Live ``(label, nbytes)`` pairs, largest first.
 
-        The payload attached to :class:`~repro.errors.DeviceOutOfMemoryError`
-        so OOM reports name the arrays actually holding device memory.
-        Ties break on the label so the order is deterministic.
+        Includes bytes-only reservations — they hold simulated capacity
+        just like arrays.  The payload attached to
+        :class:`~repro.errors.DeviceOutOfMemoryError` so OOM reports name
+        the arrays actually holding device memory.  Ties break on the
+        label so the order is deterministic.
         """
-        return sorted(
-            ((arr.label, arr.nbytes) for arr in self._live.values()),
-            key=lambda pair: (-pair[1], pair[0]),
-        )
+        live = [(arr.label, arr.nbytes) for arr in self._live.values()]
+        live += [(res.label, res.nbytes) for res in self._reservations.values()]
+        return sorted(live, key=lambda pair: (-pair[1], pair[0]))
 
     @property
     def live_count(self) -> int:
-        return len(self._live)
+        return len(self._live) + len(self._reservations)
+
+    @property
+    def reserved_bytes(self) -> int:
+        """Bytes currently held by reservations (no backing arrays)."""
+        return sum(res.nbytes for res in self._reservations.values())
 
     def reset_peak(self) -> None:
         """Forget peak history (current usage is kept)."""

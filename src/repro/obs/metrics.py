@@ -37,6 +37,12 @@ class MetricsRegistry:
     def increment(self, name: str, value: float = 1.0) -> None:
         self._counters[name] = self._counters.get(name, 0.0) + value
 
+    def record_max(self, name: str, value: float) -> None:
+        """Keep the maximum observed value under *name* (a high-water
+        gauge: queue depth, concurrent streams, reserved bytes)."""
+        if value > self._counters.get(name, float("-inf")):
+            self._counters[name] = value
+
     def record_kernel_stats(self, stats) -> None:
         """Fold one kernel's traffic description into the counters."""
         for counter, attribute in STAT_COUNTERS:

@@ -95,6 +95,7 @@ class QueryExecutor:
         shards: int = 1,
         interconnect="nvlink-mesh",
         fault_plan=None,
+        join_output_hook=None,
     ):
         if shards < 1:
             raise JoinConfigError(f"shards must be >= 1, got {shards}")
@@ -117,6 +118,12 @@ class QueryExecutor:
         self.shards = shards
         self.interconnect = interconnect
         self.fault_plan = fault_plan
+        # Called with (join_node, output_relation) after each plain
+        # (single-device, fault-free, unprojected) join materializes; the
+        # serving layer caches these intermediates as sub-results.  Only
+        # that path fires the hook: sharded/faulted runs may permute row
+        # order and pushed-down projections change the output schema.
+        self.join_output_hook = join_output_hook
         self._session: Optional[TraceSession] = None
 
     def execute(
@@ -262,6 +269,7 @@ class QueryExecutor:
                     result.total_seconds,
                     result.matches,
                     extras=dict(result.step_seconds),
+                    algorithm=result.algorithm,
                 )
             )
             return result.output
@@ -294,6 +302,7 @@ class QueryExecutor:
                     result.total_seconds,
                     result.matches,
                     extras=result.extras,
+                    algorithm=result.algorithm,
                 )
             )
             return result.output
@@ -312,8 +321,11 @@ class QueryExecutor:
                 result.total_seconds,
                 result.matches,
                 extras=dict(result.phase_seconds),
+                algorithm=result.algorithm,
             )
         )
+        if self.join_output_hook is not None and projection is None:
+            self.join_output_hook(node, result.output)
         return result.output
 
     def _run_aggregate(
@@ -352,6 +364,7 @@ class QueryExecutor:
                     result.total_seconds,
                     result.groups,
                     extras=dict(result.step_seconds),
+                    algorithm=result.algorithm,
                 )
             )
             return result.output
@@ -381,6 +394,7 @@ class QueryExecutor:
                     result.total_seconds,
                     result.groups,
                     extras=result.extras,
+                    algorithm=result.algorithm,
                 )
             )
             return result.output
@@ -398,6 +412,7 @@ class QueryExecutor:
                 result.total_seconds,
                 result.groups,
                 extras=dict(result.phase_seconds),
+                algorithm=result.algorithm,
             )
         )
         return result.output
@@ -448,6 +463,10 @@ class QueryExecutor:
                 result.total_seconds,
                 result.groupby_result.groups,
                 extras={"fusion_credit_s": result.fusion_credit_seconds},
+                algorithm=(
+                    f"{result.join_result.algorithm}"
+                    f"+{result.groupby_result.algorithm}"
+                ),
             )
         )
         return result.output
@@ -514,6 +533,7 @@ class QueryExecutor:
                     "join_s": join_res.total_seconds,
                     "aggregate_s": agg_res.total_seconds,
                 },
+                algorithm=f"{join_res.algorithm}+{agg_res.algorithm}",
             )
         )
         return agg_res.output

@@ -80,12 +80,19 @@ PlanNode = Union[Scan, Project, Join, Aggregate]
 
 @dataclass
 class OperatorTrace:
-    """One executed operator with its simulated cost."""
+    """One executed operator with its simulated cost.
+
+    ``algorithm`` is the physical algorithm the planner resolved for
+    this operator (e.g. ``"PHJ-OM"``; fused join-aggregates report
+    ``"<join>+<group-by>"``), empty for operators with no algorithm
+    choice.  The serving layer's plan cache pins plans from it.
+    """
 
     description: str
     seconds: float
     rows: int
     extras: Dict[str, float] = field(default_factory=dict)
+    algorithm: str = ""
 
 
 @dataclass

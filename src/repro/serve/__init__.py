@@ -1,0 +1,64 @@
+"""Simulated multi-tenant query serving.
+
+The layers below (``gpusim`` -> algorithms -> ``query`` -> ``cluster``
+/ ``faults``) execute one query at a time; this package serves *many*:
+
+* :mod:`~repro.serve.streams` — N logical streams multiplexed on one
+  simulated device under a deterministic bandwidth-occupancy model;
+* :mod:`~repro.serve.server` — :class:`QueryServer`: admission control
+  with memory reservations and a bounded priority queue, plan pinning
+  and result caching with relation-update invalidation, fault-degraded
+  queries that finish without stalling the rest;
+* :mod:`~repro.serve.driver` — open/closed-loop workload generation
+  over Zipf-popular templates, reporting simulated throughput and
+  latency percentiles;
+* :mod:`~repro.serve.trace` — the serving timeline as a multi-track
+  Chrome trace.
+
+The invariant everything here preserves: serving only re-times queries.
+Every output is bit-identical to a direct
+:func:`repro.query.executor.execute` of the same plan.
+"""
+
+from .cache import (
+    DependentLRU,
+    PinnedPlan,
+    PlanCache,
+    ResultCache,
+    pin_plan,
+    plan_signature,
+    relation_fingerprint,
+)
+from .driver import DriverReport, QueryTemplate, TemplateStats, WorkloadDriver
+from .server import (
+    QueryOutcome,
+    QueryRequest,
+    QueryServer,
+    ServeReport,
+)
+from .streams import QueryCompletion, ScheduledItem, StreamScheduler, WorkItem
+from .trace import serve_chrome_trace, write_serve_trace
+
+__all__ = [
+    "DependentLRU",
+    "DriverReport",
+    "PinnedPlan",
+    "PlanCache",
+    "QueryCompletion",
+    "QueryOutcome",
+    "QueryRequest",
+    "QueryServer",
+    "QueryTemplate",
+    "ResultCache",
+    "ScheduledItem",
+    "ServeReport",
+    "StreamScheduler",
+    "TemplateStats",
+    "WorkItem",
+    "WorkloadDriver",
+    "pin_plan",
+    "plan_signature",
+    "relation_fingerprint",
+    "serve_chrome_trace",
+    "write_serve_trace",
+]

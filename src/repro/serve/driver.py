@@ -1,0 +1,192 @@
+"""Workload driver: synthetic tenants against a :class:`QueryServer`.
+
+Serving papers characterize systems with two arrival disciplines, both
+provided here on the simulated clock:
+
+* **open loop** — queries arrive by a Poisson process at a fixed rate,
+  regardless of how the server keeps up.  Overload therefore surfaces
+  honestly: queues grow, latency tails stretch, and past the admission
+  bound arrivals are *rejected* (backpressure) rather than silently
+  buffered.
+* **closed loop** — a fixed population of clients each submits its next
+  query the moment the previous one finishes.  With all queries
+  submitted up front, the server's stream count is exactly the
+  closed-loop concurrency, so this mode measures saturated throughput.
+
+Template popularity is Zipf-distributed (rank ``i`` drawn with
+probability proportional to ``(i+1)**-zipf_factor``), matching the
+skewed query mix real serving sees — and what makes the plan/result
+caches earn their keep: a hot template's second arrival hits.
+All randomness comes from one seeded generator, so a driver run is a
+pure function of ``(templates, discipline, seed)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ServeConfigError
+from ..query.plan import PlanNode
+from .server import QueryServer, ServeReport
+
+
+@dataclass(frozen=True)
+class QueryTemplate:
+    """One reusable logical plan with an optional popularity weight."""
+
+    name: str
+    plan: PlanNode
+    weight: float = 1.0
+
+
+@dataclass
+class TemplateStats:
+    """Per-template serving statistics."""
+
+    submitted: int = 0
+    completed: int = 0
+    rejected: int = 0
+    result_cache_hits: int = 0
+    plan_cache_hits: int = 0
+    latency_sum_s: float = 0.0
+
+    @property
+    def mean_latency_s(self) -> float:
+        return self.latency_sum_s / self.completed if self.completed else 0.0
+
+
+@dataclass
+class DriverReport:
+    """A :class:`~repro.serve.server.ServeReport` plus the template mix."""
+
+    discipline: str
+    report: ServeReport
+    templates: Dict[str, TemplateStats] = field(default_factory=dict)
+
+    def render(self) -> str:
+        lines = [f"discipline: {self.discipline}", self.report.render()]
+        for name, stats in self.templates.items():
+            lines.append(
+                f"template {name}: {stats.submitted} submitted, "
+                f"{stats.completed} completed, {stats.rejected} rejected, "
+                f"{stats.result_cache_hits} result-cache hits, "
+                f"{stats.plan_cache_hits} plan-cache hits, "
+                f"mean latency {stats.mean_latency_s * 1e3:.3f} ms"
+            )
+        return "\n".join(lines)
+
+
+class WorkloadDriver:
+    """Drives Zipf-popular query templates at a server.
+
+    The driver only *submits*; service order, admission and caching are
+    the server's.  ``run_open_loop``/``run_closed_loop`` both drain the
+    server completely and report over exactly the queries this driver
+    submitted (tagged with their template names).
+    """
+
+    def __init__(
+        self,
+        server: QueryServer,
+        templates: Sequence[QueryTemplate],
+        zipf_factor: float = 1.1,
+        seed: int = 0,
+    ):
+        if not templates:
+            raise ServeConfigError("the driver needs at least one template")
+        names = [t.name for t in templates]
+        if len(set(names)) != len(names):
+            raise ServeConfigError(f"duplicate template names in {names}")
+        if zipf_factor < 0:
+            raise ServeConfigError(
+                f"zipf_factor must be >= 0, got {zipf_factor}"
+            )
+        self.server = server
+        self.templates = list(templates)
+        self.zipf_factor = zipf_factor
+        self.rng = np.random.default_rng(seed)
+        weights = np.array(
+            [
+                template.weight * (rank + 1) ** (-zipf_factor)
+                for rank, template in enumerate(self.templates)
+            ],
+            dtype=np.float64,
+        )
+        if not np.all(weights > 0):
+            raise ServeConfigError("template weights must be positive")
+        self._cdf = np.cumsum(weights) / weights.sum()
+
+    def _draw_template(self) -> QueryTemplate:
+        rank = int(np.searchsorted(self._cdf, self.rng.random(), side="right"))
+        return self.templates[min(rank, len(self.templates) - 1)]
+
+    # -- disciplines -------------------------------------------------------
+
+    def run_open_loop(
+        self,
+        num_queries: int,
+        arrival_rate_qps: float,
+        priority: int = 0,
+    ) -> DriverReport:
+        """Poisson arrivals at *arrival_rate_qps* on the simulated clock."""
+        if arrival_rate_qps <= 0:
+            raise ServeConfigError(
+                f"arrival_rate_qps must be positive, got {arrival_rate_qps}"
+            )
+        submitted = []
+        at_s = self.server.clock_s
+        for _ in range(num_queries):
+            at_s += float(self.rng.exponential(1.0 / arrival_rate_qps))
+            template = self._draw_template()
+            query_id = self.server.submit(
+                template.plan, at_s=at_s, priority=priority, tag=template.name
+            )
+            submitted.append(query_id)
+        self.server.run()
+        return self._report("open-loop", submitted)
+
+    def run_closed_loop(self, num_queries: int, priority: int = 0) -> DriverReport:
+        """A saturated client population: everything submitted at once.
+
+        The server's ``streams`` bound is the effective concurrency and
+        its ``queue_depth`` must hold the waiting remainder, or the
+        overflow is rejected as backpressure (reported, not raised).
+        """
+        submitted = []
+        now = self.server.clock_s
+        for _ in range(num_queries):
+            template = self._draw_template()
+            query_id = self.server.submit(
+                template.plan, at_s=now, priority=priority, tag=template.name
+            )
+            submitted.append(query_id)
+        self.server.run()
+        return self._report("closed-loop", submitted)
+
+    # -- reporting ---------------------------------------------------------
+
+    def _report(self, discipline: str, query_ids: Sequence[int]) -> DriverReport:
+        wanted = set(query_ids)
+        stats: Dict[str, TemplateStats] = {
+            template.name: TemplateStats() for template in self.templates
+        }
+        for outcome in self.server.outcomes:
+            if outcome.query_id not in wanted:
+                continue
+            per = stats[outcome.tag]
+            per.submitted += 1
+            if outcome.status == "completed":
+                per.completed += 1
+                per.latency_sum_s += outcome.latency_s
+                per.result_cache_hits += int(outcome.result_cache_hit)
+                per.plan_cache_hits += int(outcome.plan_cache_hit)
+            else:
+                per.rejected += 1
+        return DriverReport(
+            discipline=discipline,
+            report=self.server.report(),
+            templates=stats,
+        )

@@ -1,0 +1,795 @@
+"""The multi-tenant query server: admission, caching, stream scheduling.
+
+:class:`QueryServer` turns the one-query-at-a-time executor into a
+simulated serving system.  The design keeps the repo's central
+invariant — **scheduling never touches data** — by splitting every
+query into two halves:
+
+* **correctness** runs through the unchanged
+  :class:`~repro.query.executor.QueryExecutor` at admission time, under
+  a private :class:`~repro.obs.session.TraceSession` that captures each
+  kernel's *solo* duration.  The output is therefore bit-identical to a
+  direct ``execute()`` of the same plan, for every path: cached,
+  uncached, sharded, fault-degraded.
+* **timing** replays those kernel durations on the shared
+  :class:`~repro.serve.streams.StreamScheduler`, where concurrent
+  queries contend for bandwidth and individual kernels stretch.
+
+Admission control reserves each query's estimated device footprint
+against a :class:`~repro.gpusim.memory.DeviceMemory` before it may
+start (bytes-only reservations — same OOM arithmetic as real
+allocations, no backing arrays), holds a bounded priority queue in
+front of the streams, and rejects with a typed
+:class:`~repro.errors.AdmissionError` when the queue overflows, a query
+cannot ever fit, or the server is closed.
+
+Queries over *registered* relations flow through two caches (see
+:mod:`repro.serve.cache`): hits on the plan cache skip planner work by
+pinning resolved algorithms; hits on the result cache skip execution
+entirely and cost one cache-lookup work item on the device.  Updating a
+registered relation invalidates every dependent entry, so a stale read
+is impossible by construction.  Fault-injected queries bypass both
+caches (degraded recovery may permute row order) but still complete —
+faults degrade the one query, never the server.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import AdmissionError, DeviceOutOfMemoryError, ServeConfigError
+from ..gpusim.device import A100, DeviceSpec
+from ..gpusim.memory import DeviceMemory, MemoryReservation
+from ..joins.base import JoinConfig
+from ..obs.metrics import MetricsRegistry
+from ..obs.session import TraceSession
+from ..query.executor import QueryExecutor
+from ..query.plan import Join, PlanNode, QueryResult, Scan, validate_plan
+from ..relational.relation import Relation
+from .cache import (
+    PinnedPlan,
+    PlanCache,
+    ResultCache,
+    output_nbytes,
+    pin_plan,
+    plan_relations,
+    plan_signature,
+)
+from .streams import QueryCompletion, StreamScheduler, WorkItem
+
+#: Fallback simulated seconds for one result-cache hit when the device
+#: declares no launch overhead (a lookup plus a pointer hand-off).
+FALLBACK_CACHE_HIT_COST_S = 5e-6
+
+#: Device-bytes reserved per byte of scanned input: inputs resident plus
+#: roughly 2x working state (partitions/tables/output), the high-water
+#: shape of the paper's operators.
+DEFAULT_MEM_OVERHEAD = 3.0
+
+
+@dataclass
+class QueryRequest:
+    """One submitted query, waiting for or undergoing service."""
+
+    query_id: int
+    plan: PlanNode
+    arrival_s: float
+    priority: int = 0
+    optimize: bool = True
+    fault_plan: Optional[object] = None
+    tag: str = ""
+
+
+@dataclass
+class QueryOutcome:
+    """The server's record of one finished (or rejected) query."""
+
+    query_id: int
+    tag: str
+    status: str  #: "completed" | "rejected"
+    arrival_s: float
+    output: object = None
+    result: Optional[QueryResult] = None
+    admitted_s: float = 0.0
+    finish_s: float = 0.0
+    stream: int = -1
+    solo_seconds: float = 0.0
+    reserved_bytes: int = 0
+    plan_cache_hit: bool = False
+    result_cache_hit: bool = False
+    subresult_hits: int = 0
+    degraded: bool = False
+    error: Optional[AdmissionError] = None
+
+    @property
+    def queue_wait_s(self) -> float:
+        return self.admitted_s - self.arrival_s
+
+    @property
+    def service_s(self) -> float:
+        return self.finish_s - self.admitted_s
+
+    @property
+    def latency_s(self) -> float:
+        return self.finish_s - self.arrival_s
+
+    @property
+    def stretch(self) -> float:
+        """Service time over solo time (1.0 = ran as if alone)."""
+        if self.solo_seconds <= 0:
+            return 1.0
+        return self.service_s / self.solo_seconds
+
+
+def _percentile(values: Sequence[float], q: float) -> float:
+    if not values:
+        return 0.0
+    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+
+
+@dataclass
+class ServeReport:
+    """Aggregate serving statistics over one server run."""
+
+    submitted: int
+    completed: int
+    rejected: int
+    makespan_s: float
+    throughput_qps: float
+    latency_p50_s: float
+    latency_p95_s: float
+    latency_p99_s: float
+    mean_queue_wait_s: float
+    mean_stretch: float
+    peak_concurrency: int
+    solo_seconds_total: float
+    counters: Dict[str, float] = field(default_factory=dict)
+
+    def render(self) -> str:
+        lines = [
+            f"queries: {self.submitted} submitted, {self.completed} "
+            f"completed, {self.rejected} rejected",
+            f"makespan: {self.makespan_s * 1e3:.3f} ms simulated "
+            f"(serial solo time {self.solo_seconds_total * 1e3:.3f} ms)",
+            f"throughput: {self.throughput_qps:.1f} queries/s simulated",
+            f"latency: p50 {self.latency_p50_s * 1e3:.3f} ms, "
+            f"p95 {self.latency_p95_s * 1e3:.3f} ms, "
+            f"p99 {self.latency_p99_s * 1e3:.3f} ms",
+            f"queueing: mean wait {self.mean_queue_wait_s * 1e3:.3f} ms, "
+            f"mean stretch {self.mean_stretch:.3f}, "
+            f"peak concurrency {self.peak_concurrency}",
+        ]
+        for name in sorted(self.counters):
+            lines.append(f"counter: {name} = {self.counters[name]:g}")
+        return "\n".join(lines)
+
+
+@dataclass
+class _InFlight:
+    """Book-keeping for one admitted query in service."""
+
+    request: QueryRequest
+    result: QueryResult
+    reservation: MemoryReservation
+    admitted_s: float
+    solo_seconds: float
+    plan_cache_hit: bool
+    result_cache_hit: bool
+    subresult_hits: int
+    degraded: bool
+
+
+class QueryServer:
+    """A simulated multi-tenant serving layer over the query executor.
+
+    Parameters mirror :class:`~repro.query.executor.QueryExecutor`
+    (``device``/``config``/``seed``/``shards``/``interconnect`` pass
+    straight through) plus the serving knobs:
+
+    streams:
+        Logical concurrent streams (the closed-loop concurrency cap).
+    interference:
+        Bandwidth contention fraction of the occupancy model; see
+        :class:`~repro.serve.streams.StreamScheduler`.
+    queue_depth:
+        Admission-queue bound; arrivals beyond it are rejected with
+        ``AdmissionError(reason="queue-full")`` (backpressure).
+    mem_overhead:
+        Reserved device bytes per scanned input byte.
+    session:
+        Optional :class:`~repro.obs.session.TraceSession`: the server
+        mirrors its counters into it and opens one ``serve`` span per
+        finished query (args carry the serving-clock interval).
+
+    >>> import numpy as np
+    >>> from repro.query.plan import Scan, Join
+    >>> from repro.relational.relation import Relation
+    >>> r = Relation.from_key_payloads(
+    ...     np.arange(64, dtype=np.int32),
+    ...     [np.arange(64, dtype=np.int32)], payload_prefix="r")
+    >>> s = Relation.from_key_payloads(
+    ...     np.arange(64, dtype=np.int32).repeat(2),
+    ...     [np.arange(128, dtype=np.int32)], payload_prefix="s")
+    >>> server = QueryServer(streams=2, seed=0)
+    >>> _ = server.register("r", r); _ = server.register("s", s)
+    >>> plan = Join(Scan(r), Scan(s), algorithm="PHJ-OM")
+    >>> first = server.query(plan)
+    >>> second = server.query(plan)       # served from the result cache
+    >>> second.result_cache_hit and first.output.equals_unordered(second.output)
+    True
+    """
+
+    def __init__(
+        self,
+        streams: int = 4,
+        interference: float = 0.6,
+        device: DeviceSpec = A100,
+        config: Optional[JoinConfig] = None,
+        seed: Optional[int] = None,
+        shards: int = 1,
+        interconnect="nvlink-mesh",
+        queue_depth: int = 64,
+        mem_overhead: float = DEFAULT_MEM_OVERHEAD,
+        plan_cache_entries: int = 256,
+        result_cache_bytes: int = 64 << 20,
+        enable_plan_cache: bool = True,
+        enable_result_cache: bool = True,
+        cache_hit_cost_s: Optional[float] = None,
+        session: Optional[TraceSession] = None,
+    ):
+        if queue_depth < 0:
+            raise ServeConfigError(f"queue_depth must be >= 0, got {queue_depth}")
+        if mem_overhead < 1.0:
+            raise ServeConfigError(
+                f"mem_overhead must be >= 1 (inputs are resident), "
+                f"got {mem_overhead}"
+            )
+        self.device = device
+        self.config = config
+        self.seed = seed
+        self.shards = shards
+        self.interconnect = interconnect
+        self.queue_depth = queue_depth
+        self.mem_overhead = mem_overhead
+        # A hit costs one kernel launch on this device (so it scales with
+        # scaled-down device geometry like everything else).
+        self.cache_hit_cost_s = (
+            cache_hit_cost_s
+            if cache_hit_cost_s is not None
+            else (device.kernel_launch_overhead_s or FALLBACK_CACHE_HIT_COST_S)
+        )
+        self.scheduler = StreamScheduler(streams, interference=interference)
+        self.memory = DeviceMemory(capacity_bytes=device.global_mem_bytes)
+        self.plan_cache = PlanCache(max_entries=plan_cache_entries)
+        self.result_cache = ResultCache(max_bytes=result_cache_bytes)
+        self.enable_plan_cache = enable_plan_cache
+        self.enable_result_cache = enable_result_cache
+        self.metrics = MetricsRegistry()
+        self.session = session
+        self.outcomes: List[QueryOutcome] = []
+        self._catalog: Dict[str, Relation] = {}
+        self._names_by_id: Dict[int, str] = {}
+        #: id(relation) -> (relation, fingerprint); the strong reference
+        #: keeps ids from being recycled under the memo.
+        self._fp_memo: Dict[int, Tuple[Relation, str]] = {}
+        self._arrivals: List[Tuple[float, int, QueryRequest]] = []
+        self._queue: List[Tuple[int, float, int, QueryRequest]] = []
+        self._inflight: Dict[int, _InFlight] = {}
+        self._next_id = 0
+        self._closed = False
+
+    # -- the catalog -------------------------------------------------------
+
+    def register(self, name: str, relation: Relation) -> Relation:
+        """Register *relation* under *name* for cache dependency tracking.
+
+        Queries may scan unregistered relations too — caching still works
+        (keys are content fingerprints) but only registered relations can
+        be :meth:`update`-d, and only updates trigger invalidation.
+        """
+        if name in self._catalog:
+            raise ServeConfigError(
+                f"relation {name!r} already registered; use update()"
+            )
+        self._catalog[name] = relation
+        self._names_by_id[id(relation)] = name
+        self._fingerprint(relation)
+        return relation
+
+    def update(self, name: str, relation: Relation) -> int:
+        """Replace a registered relation, evicting every dependent cache
+        entry; returns the number of entries invalidated."""
+        if name not in self._catalog:
+            raise ServeConfigError(f"relation {name!r} is not registered")
+        old = self._catalog[name]
+        self._names_by_id.pop(id(old), None)
+        self._catalog[name] = relation
+        self._names_by_id[id(relation)] = name
+        self._fingerprint(relation)
+        invalidated = self.plan_cache.invalidate(name)
+        invalidated += self.result_cache.invalidate(name)
+        self._count("serve.invalidated_entries", invalidated)
+        return invalidated
+
+    def relation(self, name: str) -> Relation:
+        if name not in self._catalog:
+            raise ServeConfigError(f"relation {name!r} is not registered")
+        return self._catalog[name]
+
+    def _fingerprint(self, relation: Relation) -> str:
+        from .cache import relation_fingerprint
+
+        memo = self._fp_memo.get(id(relation))
+        if memo is not None:
+            return memo[1]
+        fingerprint = relation_fingerprint(relation)
+        self._fp_memo[id(relation)] = (relation, fingerprint)
+        return fingerprint
+
+    def _plan_deps(self, plan: PlanNode) -> List[str]:
+        """Registered names the plan reads (for invalidation tracking)."""
+        names = []
+        for relation in plan_relations(plan):
+            name = self._names_by_id.get(id(relation))
+            if name is not None and name not in names:
+                names.append(name)
+        return names
+
+    # -- metrics -----------------------------------------------------------
+
+    def _count(self, name: str, value: float = 1.0) -> None:
+        self.metrics.increment(name, value)
+        if self.session is not None:
+            self.session.count(name, value)
+
+    def _gauge(self, name: str, value: float) -> None:
+        self.metrics.record_max(name, value)
+        if self.session is not None:
+            self.session.metrics.record_max(name, value)
+
+    # -- submission --------------------------------------------------------
+
+    @property
+    def clock_s(self) -> float:
+        """The serving clock (simulated seconds)."""
+        return self.scheduler.clock_s
+
+    def estimate_bytes(self, plan: PlanNode) -> int:
+        """Admission-control footprint estimate for *plan*."""
+        scanned = sum(rel.total_bytes for rel in plan_relations(plan))
+        return int(scanned * self.mem_overhead)
+
+    def submit(
+        self,
+        plan: PlanNode,
+        at_s: Optional[float] = None,
+        priority: int = 0,
+        optimize: bool = True,
+        fault_plan=None,
+        tag: str = "",
+    ) -> int:
+        """Enqueue a query arriving at ``at_s`` (default: now).
+
+        Raises :class:`~repro.errors.AdmissionError` immediately for
+        queries that can never run (``reason="oversized"``: the footprint
+        estimate exceeds device capacity even on an idle server) or when
+        the server is :meth:`close`-d (``reason="closed"``).  Queue
+        overflow is decided at arrival time and surfaces as a rejected
+        :class:`QueryOutcome` carrying the error.
+        """
+        if self._closed:
+            raise AdmissionError("server is closed", reason="closed")
+        validate_plan(plan)
+        arrival = self.clock_s if at_s is None else float(at_s)
+        if arrival < self.clock_s:
+            raise ServeConfigError(
+                f"arrival {arrival} precedes the serving clock {self.clock_s}"
+            )
+        estimate = self.estimate_bytes(plan)
+        capacity = self.memory.capacity_bytes
+        if capacity is not None and estimate > capacity:
+            self._count("serve.rejected_oversized")
+            raise AdmissionError(
+                f"query needs ~{estimate} reserved bytes; device capacity "
+                f"is {capacity}",
+                reason="oversized",
+            )
+        request = QueryRequest(
+            query_id=self._next_id,
+            plan=plan,
+            arrival_s=arrival,
+            priority=priority,
+            optimize=optimize,
+            fault_plan=fault_plan,
+            tag=tag,
+        )
+        self._next_id += 1
+        heapq.heappush(self._arrivals, (arrival, request.query_id, request))
+        self._count("serve.submitted")
+        return request.query_id
+
+    def close(self) -> None:
+        """Stop accepting submissions (already-queued work still runs)."""
+        self._closed = True
+
+    # -- the event loop ----------------------------------------------------
+
+    def run(self, until_s: Optional[float] = None) -> List[QueryOutcome]:
+        """Serve until all submitted work drains (or ``until_s``).
+
+        Deterministic event order at equal timestamps: completions are
+        processed before arrivals, streams in index order, queued
+        queries in (priority desc, arrival, id) order.  Returns the full
+        outcome list (completed and rejected), in finish order.
+        """
+        limit = float("inf") if until_s is None else float(until_s)
+        while True:
+            next_arrival = self._arrivals[0][0] if self._arrivals else float("inf")
+            if (
+                not self.scheduler.busy
+                and not self._queue
+                and next_arrival == float("inf")
+            ):
+                break
+            horizon = min(next_arrival, limit)
+            completion = self.scheduler.advance_to(horizon)
+            if completion is not None:
+                self._complete(completion)
+                self._admit_from_queue()
+                continue
+            # The clock reached the horizon without a query finishing.
+            if next_arrival > limit:
+                break
+            while self._arrivals and self._arrivals[0][0] <= self.clock_s:
+                _, _, request = heapq.heappop(self._arrivals)
+                self._arrive(request)
+            self._admit_from_queue()
+        return self.outcomes
+
+    def query(
+        self,
+        plan: PlanNode,
+        priority: int = 0,
+        optimize: bool = True,
+        fault_plan=None,
+        tag: str = "",
+    ) -> QueryOutcome:
+        """Submit one query now, serve until it finishes, return its outcome.
+
+        Raises the outcome's :class:`~repro.errors.AdmissionError` if the
+        query was rejected, so interactive callers see backpressure as an
+        exception rather than a status field.
+        """
+        query_id = self.submit(
+            plan, priority=priority, optimize=optimize,
+            fault_plan=fault_plan, tag=tag,
+        )
+        self.run()
+        outcome = next(o for o in self.outcomes if o.query_id == query_id)
+        if outcome.error is not None:
+            raise outcome.error
+        return outcome
+
+    def report(self) -> ServeReport:
+        """Aggregate statistics over everything served so far."""
+        done = [o for o in self.outcomes if o.status == "completed"]
+        rejected = [o for o in self.outcomes if o.status == "rejected"]
+        latencies = [o.latency_s for o in done]
+        makespan = max((o.finish_s for o in done), default=0.0)
+        return ServeReport(
+            submitted=len(done) + len(rejected),
+            completed=len(done),
+            rejected=len(rejected),
+            makespan_s=makespan,
+            throughput_qps=len(done) / makespan if makespan > 0 else 0.0,
+            latency_p50_s=_percentile(latencies, 50),
+            latency_p95_s=_percentile(latencies, 95),
+            latency_p99_s=_percentile(latencies, 99),
+            mean_queue_wait_s=(
+                sum(o.queue_wait_s for o in done) / len(done) if done else 0.0
+            ),
+            mean_stretch=(
+                sum(o.stretch for o in done) / len(done) if done else 0.0
+            ),
+            peak_concurrency=self.scheduler.peak_concurrency,
+            solo_seconds_total=sum(o.solo_seconds for o in done),
+            counters=self.metrics.as_dict(derived=False),
+        )
+
+    # -- admission ---------------------------------------------------------
+
+    def _arrive(self, request: QueryRequest) -> None:
+        if len(self._queue) >= self.queue_depth + self._admissible_now():
+            # The queue bound covers *waiting* queries; anything the
+            # streams can absorb immediately never occupies a slot.
+            self._reject(request, "queue-full")
+            return
+        heapq.heappush(
+            self._queue,
+            (-request.priority, request.arrival_s, request.query_id, request),
+        )
+        self._gauge("serve.queue_depth_peak", len(self._queue))
+
+    def _admissible_now(self) -> int:
+        return self.scheduler.free_streams()
+
+    def _reject(self, request: QueryRequest, reason: str) -> None:
+        error = AdmissionError(
+            f"query {request.query_id} rejected at admission: {reason} "
+            f"(queue depth {self.queue_depth}, "
+            f"{self.scheduler.free_streams()} free streams)",
+            reason=reason,
+        )
+        self._count(f"serve.rejected_{reason.replace('-', '_')}")
+        self.outcomes.append(
+            QueryOutcome(
+                query_id=request.query_id,
+                tag=request.tag,
+                status="rejected",
+                arrival_s=request.arrival_s,
+                finish_s=self.clock_s,
+                error=error,
+            )
+        )
+
+    def _admit_from_queue(self) -> None:
+        """Admit queued queries in priority order until one blocks (HOL)."""
+        while self._queue and self.scheduler.free_streams() > 0:
+            _, _, _, request = self._queue[0]
+            try:
+                reservation = self.memory.reserve(
+                    self.estimate_bytes(request.plan),
+                    label=f"query-{request.query_id}",
+                )
+            except DeviceOutOfMemoryError:
+                if not self.scheduler.busy:
+                    # Nothing holds memory yet the head still cannot fit:
+                    # unservable under the current catalog, so reject
+                    # rather than deadlock the queue.
+                    heapq.heappop(self._queue)
+                    self._reject(request, "oversized")
+                    continue
+                break  # blocked behind running queries' reservations
+            heapq.heappop(self._queue)
+            self._start(request, reservation)
+
+    # -- execution ---------------------------------------------------------
+
+    def _start(self, request: QueryRequest, reservation: MemoryReservation) -> None:
+        flight = self._execute(request, reservation)
+        items = self._work_items(flight)
+        stream = self.scheduler.start(request.query_id, items, at_s=self.clock_s)
+        self._inflight[request.query_id] = flight
+        self._count("serve.admitted")
+        self._gauge("serve.concurrency_peak", self.scheduler.active_count)
+        self._gauge("serve.reserved_bytes_peak", self.memory.current_bytes)
+        del stream  # recorded by the scheduler; completion carries it
+
+    def _execute(
+        self, request: QueryRequest, reservation: MemoryReservation
+    ) -> _InFlight:
+        """Run the query's correctness half; timing replays later.
+
+        Cache population happens here (admission order), which is
+        deterministic for a fixed submission schedule.
+        """
+        fault_plan = request.fault_plan
+        injects = fault_plan is not None and getattr(
+            fault_plan, "injects_anything", True
+        )
+        # Degraded recovery and sharded shuffles may permute row order;
+        # caching those outputs would break bit-identity with execute().
+        cacheable = not injects and self.shards == 1
+        cache_key = ("opt" if request.optimize else "raw",
+                     plan_signature(request.plan, self._fingerprint))
+        deps = self._plan_deps(request.plan)
+
+        if cacheable and self.enable_result_cache:
+            entry = self.result_cache.get(cache_key)
+            if entry is not None:
+                self._count("serve.result_cache_hits")
+                result = QueryResult(output=entry.value, trace=[])
+                return _InFlight(
+                    request=request,
+                    result=result,
+                    reservation=reservation,
+                    admitted_s=self.clock_s,
+                    solo_seconds=self.cache_hit_cost_s,
+                    plan_cache_hit=False,
+                    result_cache_hit=True,
+                    subresult_hits=0,
+                    degraded=False,
+                )
+            self._count("serve.result_cache_misses")
+
+        plan = request.plan
+        plan_cache_hit = False
+        if cacheable and self.enable_plan_cache:
+            pinned = self.plan_cache.get(cache_key)
+            if pinned is not None:
+                plan = pinned.value.plan
+                plan_cache_hit = True
+                self._count("serve.plan_cache_hits")
+            else:
+                self._count("serve.plan_cache_misses")
+
+        subresult_hits = 0
+        if cacheable and self.enable_result_cache:
+            plan, subresult_hits = self._substitute_subresults(
+                plan, request.optimize
+            )
+            if subresult_hits:
+                self._count("serve.subresult_hits", subresult_hits)
+
+        captured: List[Tuple[Join, Relation]] = []
+        executor = QueryExecutor(
+            device=self.device,
+            config=self.config,
+            seed=self.seed,
+            shards=self.shards,
+            interconnect=self.interconnect,
+            fault_plan=fault_plan,
+            join_output_hook=(
+                (lambda node, rel: captured.append((node, rel)))
+                if cacheable and self.enable_result_cache
+                else None
+            ),
+        )
+        session = TraceSession(f"serve-q{request.query_id}")
+        result = executor.execute(plan, optimize=request.optimize, trace=session)
+
+        if cacheable:
+            if (
+                self.enable_plan_cache
+                and not plan_cache_hit
+                and subresult_hits == 0
+                and cache_key not in self.plan_cache
+            ):
+                self.plan_cache.put(
+                    cache_key,
+                    PinnedPlan(
+                        plan=pin_plan(
+                            request.plan,
+                            result.trace,
+                            optimize=request.optimize,
+                            fused=request.optimize and self.shards == 1,
+                        ),
+                        pinned_from=request.plan.describe(),
+                    ),
+                    deps=deps,
+                )
+            if self.enable_result_cache:
+                self.result_cache.put(
+                    cache_key,
+                    result.output,
+                    deps=deps,
+                    nbytes=output_nbytes(result.output),
+                )
+                for node, relation in captured:
+                    self.result_cache.put(
+                        ("opt" if request.optimize else "raw",
+                         plan_signature(node, self._fingerprint)),
+                        relation,
+                        deps=deps,
+                        nbytes=relation.total_bytes,
+                    )
+
+        return _InFlight(
+            request=request,
+            result=result,
+            reservation=reservation,
+            admitted_s=self.clock_s,
+            solo_seconds=sum(
+                event.record.seconds for event in session.kernel_events()
+            ),
+            plan_cache_hit=plan_cache_hit,
+            result_cache_hit=False,
+            subresult_hits=subresult_hits,
+            degraded=any(
+                "degraded" in op.extras or "OOC[" in op.algorithm
+                for op in result.trace
+            ),
+        )
+
+    def _substitute_subresults(
+        self, plan: PlanNode, optimize: bool
+    ) -> Tuple[PlanNode, int]:
+        """Swap cached join intermediates in as scans.
+
+        Only a Join subtree whose *parent is also a Join* is replaced:
+        feeding the parent the identical materialized relation cannot
+        change any downstream bit.  Under a Project or Aggregate parent
+        the executor's pushdown/fusion rewrites would take a different
+        path, so those subtrees always re-execute.
+        """
+        from dataclasses import replace
+
+        hits = 0
+
+        def lookup(node: Join) -> Optional[Relation]:
+            key = ("opt" if optimize else "raw",
+                   plan_signature(node, self._fingerprint))
+            if key not in self.result_cache:
+                return None
+            entry = self.result_cache.get(key)
+            value = entry.value if entry is not None else None
+            return value if isinstance(value, Relation) else None
+
+        def walk_child(node: PlanNode) -> PlanNode:
+            nonlocal hits
+            if isinstance(node, Join):
+                cached = lookup(node)
+                if cached is not None:
+                    hits += 1
+                    return Scan(cached, label="cached-subresult")
+                return walk(node)
+            return walk(node)
+
+        def walk(node: PlanNode) -> PlanNode:
+            if isinstance(node, Join):
+                return replace(
+                    node, left=walk_child(node.left), right=walk_child(node.right)
+                )
+            if hasattr(node, "child"):
+                return replace(node, child=walk(node.child))
+            return node
+
+        return walk(plan), hits
+
+    def _work_items(self, flight: _InFlight) -> List[WorkItem]:
+        if flight.result_cache_hit:
+            return [WorkItem("result-cache-hit", self.cache_hit_cost_s)]
+        session = flight.result.session
+        if session is not None and session.kernel_events():
+            return [
+                WorkItem(event.name, event.record.seconds)
+                for event in session.kernel_events()
+            ]
+        # Kernel-free plans (pure scans) still occupy a stream briefly.
+        return [WorkItem("noop", self.cache_hit_cost_s)]
+
+    # -- completion --------------------------------------------------------
+
+    def _complete(self, completion: QueryCompletion) -> None:
+        flight = self._inflight.pop(completion.query_id)
+        flight.reservation.free()
+        outcome = QueryOutcome(
+            query_id=completion.query_id,
+            tag=flight.request.tag,
+            status="completed",
+            arrival_s=flight.request.arrival_s,
+            output=flight.result.output,
+            result=flight.result,
+            admitted_s=flight.admitted_s,
+            finish_s=completion.finish_s,
+            stream=completion.stream,
+            solo_seconds=flight.solo_seconds,
+            reserved_bytes=flight.reservation.nbytes,
+            plan_cache_hit=flight.plan_cache_hit,
+            result_cache_hit=flight.result_cache_hit,
+            subresult_hits=flight.subresult_hits,
+            degraded=flight.degraded,
+        )
+        self.outcomes.append(outcome)
+        self._count("serve.completed")
+        if outcome.degraded:
+            self._count("serve.degraded_queries")
+        if self.session is not None:
+            with self.session.span(
+                f"serve:q{outcome.query_id}" + (f":{outcome.tag}" if outcome.tag else ""),
+                category="serve",
+                stream=outcome.stream,
+                arrival_s=outcome.arrival_s,
+                admitted_s=outcome.admitted_s,
+                finish_s=outcome.finish_s,
+                latency_s=outcome.latency_s,
+                stretch=outcome.stretch,
+                result_cache_hit=outcome.result_cache_hit,
+                plan_cache_hit=outcome.plan_cache_hit,
+                degraded=outcome.degraded,
+            ):
+                pass

@@ -1,0 +1,130 @@
+"""Chrome-trace export of a serving timeline.
+
+Lays one :class:`~repro.serve.server.QueryServer` run out as a
+multi-track Trace Event Format document: one track per logical stream
+carrying every kernel as it *actually ran* (stretched by concurrent
+occupancy), with one enclosing span per query, plus a ``queue`` track
+showing each query's admission wait.  Gaps between kernels on a stream
+are genuine idle time; a kernel wider than its ``solo_us`` arg is
+bandwidth contention made visible.
+
+Open the result in ``chrome://tracing`` or https://ui.perfetto.dev,
+exactly like the single-device (:func:`repro.obs.export.write_chrome_trace`)
+and cluster (:func:`repro.cluster.trace.write_cluster_trace`) exports.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List
+
+from ..obs.export import thread_name_event
+from .server import QueryServer
+
+#: Trace-viewer timestamps are microseconds.
+_US = 1e6
+
+
+def serve_chrome_trace(
+    server: QueryServer, name: str = "serve"
+) -> Dict[str, object]:
+    """The server's history as a Trace Event Format document.
+
+    Track layout: ``tid 0..S-1`` are the streams, ``tid S`` is the
+    admission queue (one span per completed query's wait, when any).
+    """
+    streams = server.scheduler.num_streams
+    queue_tid = streams
+    events: List[Dict[str, object]] = [
+        {
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": f"repro query server: {name}"},
+        }
+    ]
+    for s in range(streams):
+        events.append(thread_name_event(f"stream{s} ({server.device.name})", tid=s))
+    events.append(thread_name_event("admission queue", tid=queue_tid))
+
+    for outcome in server.outcomes:
+        if outcome.status != "completed":
+            continue
+        events.append(
+            {
+                "ph": "X",
+                "pid": 0,
+                "tid": outcome.stream,
+                "name": f"q{outcome.query_id}"
+                + (f":{outcome.tag}" if outcome.tag else ""),
+                "cat": "query",
+                "ts": outcome.admitted_s * _US,
+                "dur": outcome.service_s * _US,
+                "args": {
+                    "latency_us": outcome.latency_s * _US,
+                    "solo_us": outcome.solo_seconds * _US,
+                    "stretch": round(outcome.stretch, 4),
+                    "result_cache_hit": outcome.result_cache_hit,
+                    "plan_cache_hit": outcome.plan_cache_hit,
+                    "subresult_hits": outcome.subresult_hits,
+                    "degraded": outcome.degraded,
+                },
+            }
+        )
+        if outcome.queue_wait_s > 0:
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": 0,
+                    "tid": queue_tid,
+                    "name": f"wait:q{outcome.query_id}",
+                    "cat": "queue",
+                    "ts": outcome.arrival_s * _US,
+                    "dur": outcome.queue_wait_s * _US,
+                    "args": {"priority_stream": outcome.stream},
+                }
+            )
+
+    for item in server.scheduler.history:
+        events.append(
+            {
+                "ph": "X",
+                "pid": 0,
+                "tid": item.stream,
+                "name": item.name,
+                "cat": "kernel",
+                "ts": item.start_s * _US,
+                "dur": (item.end_s - item.start_s) * _US,
+                "args": {
+                    "query": item.query_id,
+                    "solo_us": item.solo_seconds * _US,
+                    "stretch": round(item.stretch, 4),
+                },
+            }
+        )
+
+    report = server.report()
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "streams": streams,
+            "interference": server.scheduler.interference,
+            "simulated_seconds": server.clock_s,
+            "completed": report.completed,
+            "rejected": report.rejected,
+            "throughput_qps": report.throughput_qps,
+            "counters": server.metrics.as_dict(derived=False),
+        },
+    }
+
+
+def write_serve_trace(server: QueryServer, path, name: str = "") -> Path:
+    """Serialize a serving run to a ``chrome://tracing`` JSON file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    doc = serve_chrome_trace(server, name or path.stem)
+    path.write_text(json.dumps(doc, indent=1))
+    return path

@@ -16,6 +16,7 @@ EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
 FAST_EXAMPLES = {
     "quickstart.py": "Joined with",
     "gather_microscope.py": "sectors",
+    "query_server.py": "Served 8 concurrent joins",
 }
 
 
@@ -43,6 +44,7 @@ def test_all_examples_present():
         "gather_microscope.py",
         "advanced_pipelines.py",
         "mini_query_engine.py",
+        "query_server.py",
     }
     present = {p.name for p in EXAMPLES_DIR.glob("*.py")}
     assert expected <= present

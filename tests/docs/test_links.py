@@ -40,6 +40,26 @@ def test_relative_links_and_anchors_resolve():
     assert not errors, "broken docs links:\n" + "\n".join(errors)
 
 
+#: Sections other docs, tests and CI point readers at; renaming one of
+#: these headings must fail tier-1, mirroring the CI --require list.
+REQUIRED_SECTIONS = [
+    "ARCHITECTURE.md#the-serving-layer-reproserve",
+    "ARCHITECTURE.md#fault-model--graceful-degradation-reprofaults",
+    "EXPERIMENTS.md#serving-throughput-ext06",
+    "EXPERIMENTS.md#resilience-ext05",
+    "EXPERIMENTS.md#scale-out-ext04",
+]
+
+
+@pytest.mark.parametrize("requirement", REQUIRED_SECTIONS)
+def test_required_sections_exist(requirement):
+    base, _, anchor = requirement.partition("#")
+    errors = check_docs.check_required_anchor(
+        f"{REPO / base}#{anchor}", slug_cache={}
+    )
+    assert not errors, "\n".join(errors)
+
+
 def test_readme_links_architecture():
     assert "ARCHITECTURE.md" in (REPO / "README.md").read_text(encoding="utf-8")
 

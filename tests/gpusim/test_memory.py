@@ -189,3 +189,54 @@ class TestLeakDetection:
         assert mem.live_count == 1
         mem.free(a)
         assert mem.live_count == 0
+
+
+class TestReservations:
+    """Bytes-only reservations (the serving admission controller's claim)."""
+
+    def test_reserve_counts_like_an_allocation(self):
+        mem = DeviceMemory(capacity_bytes=1000)
+        reservation = mem.reserve(600, "query-0")
+        assert mem.current_bytes == 600
+        assert mem.reserved_bytes == 600
+        assert mem.reserve_count == 1
+        reservation.free()
+        assert mem.current_bytes == 0
+        assert mem.release_count == 1
+        assert reservation.freed
+
+    def test_reservations_enforce_capacity_against_allocations(self):
+        mem = DeviceMemory(capacity_bytes=1000)
+        mem.reserve(900, "query-0")
+        with pytest.raises(DeviceOutOfMemoryError):
+            mem.alloc(200, np.int8, "spill")
+        with pytest.raises(DeviceOutOfMemoryError):
+            mem.reserve(200, "query-1")
+
+    def test_reservation_peak_participates_in_high_water_mark(self):
+        mem = DeviceMemory()
+        reservation = mem.reserve(512)
+        arr = mem.alloc(64, np.int8)
+        assert mem.peak_bytes == 512 + 64
+        mem.free(arr)
+        reservation.free()
+        assert mem.peak_bytes == 512 + 64
+
+    def test_double_release_rejected(self):
+        mem = DeviceMemory()
+        reservation = mem.reserve(10, "q")
+        reservation.free()
+        with pytest.raises(AllocationError, match="double release"):
+            reservation.free()
+
+    def test_foreign_release_rejected(self):
+        mem_a, mem_b = DeviceMemory(), DeviceMemory()
+        reservation = mem_a.reserve(10, "q")
+        with pytest.raises(AllocationError, match="not owned"):
+            mem_b.release(reservation)
+
+    def test_reservation_as_context_manager(self):
+        mem = DeviceMemory()
+        with mem.reserve(128, "scoped"):
+            assert mem.current_bytes == 128
+        assert mem.current_bytes == 0

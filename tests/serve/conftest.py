@@ -1,0 +1,57 @@
+"""Shared fixtures for the serving-layer suite.
+
+Relations are tiny (hundreds of rows at full device geometry) because
+these tests pin *behaviour* — bit-identity with ``execute()``,
+admission arithmetic, cache invalidation — not regimes.  The regime
+behaviour is ext06's job.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.relational.relation import Relation
+
+#: The executor seed shared by every oracle comparison in this suite.
+SERVE_SEED = 7
+
+
+def make_relation(rows: int, seed: int, prefix: str, fanout: int = 1) -> Relation:
+    """A small relation with a shuffled dense key domain."""
+    rng = np.random.default_rng(seed)
+    keys = rng.permutation(np.arange(rows, dtype=np.int32).repeat(fanout))
+    payloads = [
+        rng.integers(0, 1 << 20, size=keys.size).astype(np.int32),
+        rng.integers(0, 1 << 10, size=keys.size).astype(np.int32),
+    ]
+    return Relation.from_key_payloads(keys, payloads, payload_prefix=prefix)
+
+
+@pytest.fixture(scope="module")
+def r():
+    return make_relation(256, seed=11, prefix="r")
+
+
+@pytest.fixture(scope="module")
+def s():
+    return make_relation(256, seed=22, prefix="s", fanout=2)
+
+
+@pytest.fixture(scope="module")
+def t():
+    return make_relation(256, seed=33, prefix="t")
+
+
+def assert_bit_identical(actual, expected) -> None:
+    """Outputs match column-for-column, value-for-value, in order."""
+    if isinstance(expected, Relation):
+        assert isinstance(actual, Relation)
+        actual_cols, expected_cols = actual.columns(), expected.columns()
+    else:
+        actual_cols, expected_cols = actual, expected
+    assert list(actual_cols) == list(expected_cols)
+    for name in expected_cols:
+        np.testing.assert_array_equal(
+            actual_cols[name], expected_cols[name], err_msg=name
+        )

@@ -1,0 +1,121 @@
+"""Admission control: reservations, backpressure, priorities, rejection."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.errors import AdmissionError, ServeConfigError
+from repro.gpusim.device import A100
+from repro.query.plan import Join, Scan
+from repro.serve import QueryServer
+
+
+@pytest.fixture
+def plan(r, s):
+    return Join(Scan(r), Scan(s))
+
+
+def test_config_validation():
+    with pytest.raises(ServeConfigError, match="queue_depth"):
+        QueryServer(queue_depth=-1)
+    with pytest.raises(ServeConfigError, match="mem_overhead"):
+        QueryServer(mem_overhead=0.5)
+
+
+def test_oversized_query_rejected_at_submit(plan):
+    tiny = replace(A100, global_mem_bytes=1024)
+    server = QueryServer(streams=2, device=tiny, seed=0)
+    with pytest.raises(AdmissionError) as excinfo:
+        server.submit(plan)
+    assert excinfo.value.reason == "oversized"
+    assert server.metrics.value("serve.rejected_oversized") == 1.0
+
+
+def test_closed_server_rejects_submissions(plan):
+    server = QueryServer(streams=1, seed=0)
+    query_id = server.submit(plan)
+    server.close()
+    with pytest.raises(AdmissionError) as excinfo:
+        server.submit(plan)
+    assert excinfo.value.reason == "closed"
+    # Already-queued work still drains.
+    outcomes = server.run()
+    assert [o.query_id for o in outcomes] == [query_id]
+    assert outcomes[0].status == "completed"
+
+
+def test_queue_overflow_is_backpressure_not_an_exception(plan):
+    server = QueryServer(streams=1, queue_depth=1, seed=0)
+    ids = [server.submit(plan, at_s=0.0) for _ in range(4)]
+    outcomes = {o.query_id: o for o in server.run()}
+    assert len(outcomes) == 4
+    # One stream absorbs one arrival, the queue holds one more; the rest
+    # bounce with a typed, reason-carrying error on the outcome.
+    completed = [i for i in ids if outcomes[i].status == "completed"]
+    rejected = [i for i in ids if outcomes[i].status == "rejected"]
+    assert (len(completed), len(rejected)) == (2, 2)
+    for i in rejected:
+        assert outcomes[i].error.reason == "queue-full"
+    assert server.metrics.value("serve.rejected_queue_full") == 2.0
+    assert server.report().rejected == 2
+
+
+def test_priority_order_under_a_single_stream(plan):
+    server = QueryServer(streams=1, queue_depth=8, seed=0)
+    server.submit(plan, at_s=0.0, priority=0, tag="low")
+    server.submit(plan, at_s=0.0, priority=5, tag="high")
+    server.submit(plan, at_s=0.0, priority=1, tag="mid")
+    outcomes = server.run()
+    served = [o.tag for o in outcomes if o.status == "completed"]
+    assert served == ["high", "mid", "low"]
+
+
+def test_reservations_are_freed_and_accounted(plan, r, s):
+    server = QueryServer(streams=2, seed=0)
+    estimate = server.estimate_bytes(plan)
+    assert estimate == int((r.total_bytes + s.total_bytes) * server.mem_overhead)
+    for _ in range(3):
+        server.submit(plan, at_s=0.0)
+    outcomes = server.run()
+    assert all(o.status == "completed" for o in outcomes)
+    assert all(o.reserved_bytes == estimate for o in outcomes)
+    assert server.memory.current_bytes == 0
+    assert server.memory.reserve_count == 3
+    assert server.memory.release_count == 3
+    # Two queries overlapped, so the reservation peak saw both at once.
+    assert server.metrics.value("serve.reserved_bytes_peak") >= 2 * estimate
+    assert server.metrics.value("serve.concurrency_peak") == 2.0
+
+
+def test_memory_pressure_blocks_admission_until_a_departure(plan, r, s):
+    # Capacity fits 1.5 queries: the second waits on memory, not streams.
+    estimate = int((r.total_bytes + s.total_bytes) * 3.0)
+    device = replace(A100, global_mem_bytes=int(estimate * 1.5))
+    server = QueryServer(streams=2, queue_depth=4, device=device, seed=0)
+    first = server.submit(plan, at_s=0.0)
+    second = server.submit(plan, at_s=0.0)
+    outcomes = {o.query_id: o for o in server.run()}
+    assert all(o.status == "completed" for o in outcomes.values())
+    assert outcomes[second].admitted_s == pytest.approx(
+        outcomes[first].finish_s
+    )
+    assert outcomes[second].queue_wait_s > 0
+    assert server.metrics.value("serve.concurrency_peak") == 1.0
+
+
+def test_arrival_cannot_precede_the_serving_clock(plan):
+    server = QueryServer(streams=1, seed=0)
+    server.submit(plan)
+    server.run()
+    assert server.clock_s > 0
+    with pytest.raises(ServeConfigError, match="precedes"):
+        server.submit(plan, at_s=0.0)
+
+
+def test_run_until_horizon_leaves_future_arrivals_pending(plan):
+    server = QueryServer(streams=1, seed=0)
+    server.submit(plan, at_s=0.0, tag="now")
+    server.submit(plan, at_s=1e6, tag="later")
+    outcomes = server.run(until_s=10.0)
+    assert [o.tag for o in outcomes] == ["now"]
+    assert server.run() and server.outcomes[-1].tag == "later"

@@ -1,0 +1,93 @@
+"""WorkloadDriver: arrival disciplines, the Zipf mix, and reporting."""
+
+import pytest
+
+from repro.errors import ServeConfigError
+from repro.query.plan import Join, Project, Scan
+from repro.serve import QueryServer, QueryTemplate, WorkloadDriver
+
+from tests.serve.conftest import SERVE_SEED
+
+
+@pytest.fixture
+def templates(r, s, t):
+    return [
+        QueryTemplate("hot-join", Join(Scan(r), Scan(s))),
+        QueryTemplate("projection", Project(Join(Scan(r), Scan(s)), ("r1", "s1"))),
+        QueryTemplate("cold-join", Join(Scan(r), Scan(t))),
+    ]
+
+
+def test_driver_validation(templates, r, s):
+    server = QueryServer(seed=SERVE_SEED)
+    with pytest.raises(ServeConfigError, match="at least one"):
+        WorkloadDriver(server, [])
+    with pytest.raises(ServeConfigError, match="duplicate"):
+        WorkloadDriver(server, [templates[0], templates[0]])
+    with pytest.raises(ServeConfigError, match="zipf_factor"):
+        WorkloadDriver(server, templates, zipf_factor=-1.0)
+    with pytest.raises(ServeConfigError, match="arrival_rate_qps"):
+        WorkloadDriver(server, templates).run_open_loop(4, arrival_rate_qps=0.0)
+
+
+def test_closed_loop_is_deterministic(templates):
+    def one_run():
+        server = QueryServer(streams=2, seed=SERVE_SEED)
+        driver = WorkloadDriver(server, templates, seed=42)
+        return driver.run_closed_loop(num_queries=12)
+
+    first, second = one_run(), one_run()
+    assert first.discipline == "closed-loop"
+    assert first.report.completed == second.report.completed == 12
+    assert first.report.makespan_s == second.report.makespan_s
+    assert first.report.latency_p99_s == second.report.latency_p99_s
+    for name in ("hot-join", "projection", "cold-join"):
+        assert first.templates[name] == second.templates[name]
+
+
+def test_open_loop_is_deterministic_and_spaces_arrivals(templates):
+    def one_run():
+        server = QueryServer(streams=2, seed=SERVE_SEED)
+        driver = WorkloadDriver(server, templates, seed=42)
+        report = driver.run_open_loop(num_queries=10, arrival_rate_qps=50.0)
+        return server, report
+
+    server, first = one_run()
+    _, second = one_run()
+    assert first.report.makespan_s == second.report.makespan_s
+    arrivals = sorted(o.arrival_s for o in server.outcomes)
+    assert all(b > a for a, b in zip(arrivals, arrivals[1:]))
+    assert first.report.completed + first.report.rejected == 10
+
+
+def test_zipf_mix_prefers_the_head_template(templates):
+    server = QueryServer(streams=2, seed=SERVE_SEED, queue_depth=256)
+    driver = WorkloadDriver(server, templates, zipf_factor=2.0, seed=7)
+    report = driver.run_closed_loop(num_queries=40)
+    head = report.templates["hot-join"].submitted
+    tail = report.templates["cold-join"].submitted
+    assert head + tail + report.templates["projection"].submitted == 40
+    assert head > tail
+    # A hot template's repeats hit the result cache.
+    assert report.templates["hot-join"].result_cache_hits >= head - 1
+    assert "discipline: closed-loop" in report.render()
+
+
+def test_closed_loop_overflow_is_reported_as_backpressure(templates):
+    server = QueryServer(streams=2, queue_depth=2, seed=SERVE_SEED)
+    driver = WorkloadDriver(server, templates, seed=3)
+    report = driver.run_closed_loop(num_queries=8)
+    # Two streams absorb two arrivals, the queue holds two: four bounce.
+    assert report.report.rejected == 4
+    assert report.report.completed == 4
+    assert sum(stats.rejected for stats in report.templates.values()) == 4
+
+
+def test_report_covers_only_this_drivers_queries(templates, r, s):
+    server = QueryServer(streams=2, seed=SERVE_SEED)
+    server.query(Join(Scan(r), Scan(s)), tag="interactive")
+    driver = WorkloadDriver(server, templates, seed=1)
+    report = driver.run_closed_loop(num_queries=6)
+    assert sum(stats.submitted for stats in report.templates.values()) == 6
+    # The server-wide report still counts everything ever served.
+    assert report.report.submitted == 7

@@ -1,0 +1,136 @@
+"""StreamScheduler: the processor-sharing occupancy model, exactly."""
+
+import pytest
+
+from repro.errors import ServeConfigError
+from repro.serve import StreamScheduler, WorkItem
+
+
+def drain_all(sched):
+    completions = []
+    while True:
+        done = sched.advance_to(float("inf"))
+        if done is None:
+            return completions
+        completions.append(done)
+
+
+def test_config_validation():
+    with pytest.raises(ServeConfigError, match="streams"):
+        StreamScheduler(0)
+    with pytest.raises(ServeConfigError, match="interference"):
+        StreamScheduler(2, interference=-0.1)
+    with pytest.raises(ServeConfigError, match="interference"):
+        StreamScheduler(2, interference=1.01)
+
+
+def test_share_model_shape():
+    sched = StreamScheduler(8, interference=0.6)
+    assert sched.share(1) == 1.0
+    assert sched.share(2) == pytest.approx(1.0 / 1.6)
+    assert sched.share(4) == pytest.approx(1.0 / (1.0 + 0.6 * 3))
+    # Aggregate rate k*share(k) grows with k and stays below 1/interference.
+    rates = [k * sched.share(k) for k in range(1, 9)]
+    assert rates == sorted(rates)
+    assert all(rate <= 1.0 / 0.6 + 1e-12 for rate in rates)
+
+
+def test_single_query_runs_at_solo_speed():
+    sched = StreamScheduler(4, interference=0.6)
+    sched.start(7, [WorkItem("build", 0.25), WorkItem("probe", 0.75)], at_s=0.0)
+    done = sched.advance_to(float("inf"))
+    assert done.query_id == 7
+    assert done.finish_s == pytest.approx(1.0)
+    assert [item.name for item in sched.history] == ["build", "probe"]
+    assert all(item.stretch == pytest.approx(1.0) for item in sched.history)
+
+
+def test_two_equal_queries_stretch_and_tie_break_by_stream():
+    sched = StreamScheduler(2, interference=0.5)
+    assert sched.start(0, [WorkItem("k", 1.0)], at_s=0.0) == 0
+    assert sched.start(1, [WorkItem("k", 1.0)], at_s=0.0) == 1
+    first, second = drain_all(sched)
+    # Both drain at rate share(2) = 2/3: finish at 1.5; stream 0 retires first.
+    assert (first.query_id, second.query_id) == (0, 1)
+    assert first.finish_s == pytest.approx(1.5)
+    assert second.finish_s == pytest.approx(1.5)
+    assert sched.peak_concurrency == 2
+
+
+def test_interference_zero_is_perfect_overlap():
+    sched = StreamScheduler(2, interference=0.0)
+    sched.start(0, [WorkItem("k", 1.0)], at_s=0.0)
+    sched.start(1, [WorkItem("k", 1.0)], at_s=0.0)
+    assert all(c.finish_s == pytest.approx(1.0) for c in drain_all(sched))
+
+
+def test_interference_one_is_pure_time_slicing():
+    sched = StreamScheduler(2, interference=1.0)
+    sched.start(0, [WorkItem("k", 1.0)], at_s=0.0)
+    sched.start(1, [WorkItem("k", 1.0)], at_s=0.0)
+    assert all(c.finish_s == pytest.approx(2.0) for c in drain_all(sched))
+
+
+def test_rate_recovers_when_a_query_departs():
+    # Under pure time-slicing: both run at 1/2 until q0 ends at 2.0, then
+    # q1 runs alone and its remaining 2.0 solo-seconds take 2.0 more.
+    sched = StreamScheduler(2, interference=1.0)
+    sched.start(0, [WorkItem("short", 1.0)], at_s=0.0)
+    sched.start(1, [WorkItem("long", 3.0)], at_s=0.0)
+    first, second = drain_all(sched)
+    assert first.query_id == 0
+    assert first.finish_s == pytest.approx(2.0)
+    assert second.finish_s == pytest.approx(4.0)
+
+
+def test_kernel_boundaries_do_not_change_rates():
+    # Splitting a query's work into more kernels must not change when
+    # anything finishes: only starts/departures move the share.
+    split = StreamScheduler(2, interference=0.5)
+    split.start(0, [WorkItem("a", 0.5), WorkItem("b", 0.5)], at_s=0.0)
+    split.start(1, [WorkItem("k", 1.0)], at_s=0.0)
+    whole = StreamScheduler(2, interference=0.5)
+    whole.start(0, [WorkItem("ab", 1.0)], at_s=0.0)
+    whole.start(1, [WorkItem("k", 1.0)], at_s=0.0)
+    split_done = drain_all(split)
+    whole_done = drain_all(whole)
+    for got, want in zip(split_done, whole_done):
+        assert got.finish_s == pytest.approx(want.finish_s)
+    # The intermediate kernel boundary itself lands mid-share: 0.5 / (2/3).
+    boundary = next(item for item in split.history if item.name == "a")
+    assert boundary.end_s == pytest.approx(0.75)
+
+
+def test_staggered_start_advances_clock():
+    sched = StreamScheduler(2, interference=1.0)
+    sched.start(0, [WorkItem("k", 1.0)], at_s=0.0)
+    sched.advance_to(0.5)
+    sched.start(1, [WorkItem("k", 1.0)], at_s=0.5)
+    first, second = drain_all(sched)
+    # q0: 0.5 solo + 0.5 remaining at half rate -> 1.5; q1 then solo.
+    assert first.finish_s == pytest.approx(1.5)
+    assert second.finish_s == pytest.approx(2.0)
+
+
+def test_start_validation_and_noop_work():
+    sched = StreamScheduler(1)
+    sched.start(0, [WorkItem("k", 1.0)], at_s=0.0)
+    with pytest.raises(ServeConfigError, match="free stream"):
+        sched.start(1, [WorkItem("k", 1.0)], at_s=0.0)
+    drain_all(sched)
+    with pytest.raises(ServeConfigError, match="cannot start"):
+        sched.start(2, [WorkItem("k", 1.0)], at_s=0.0)
+    # Zero-duration work still occupies the stream for an instant.
+    done = sched.start(3, [WorkItem("empty", 0.0)], at_s=sched.clock_s)
+    assert done == 0
+    completion = sched.advance_to(float("inf"))
+    assert completion.query_id == 3
+
+
+def test_advance_to_horizon_parks_clock_and_preserves_progress():
+    sched = StreamScheduler(1)
+    sched.start(0, [WorkItem("k", 1.0)], at_s=0.0)
+    assert sched.advance_to(0.4) is None
+    assert sched.clock_s == pytest.approx(0.4)
+    done = sched.advance_to(float("inf"))
+    assert done.finish_s == pytest.approx(1.0)

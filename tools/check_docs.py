@@ -13,11 +13,16 @@ markdown files:
 * absolute URLs (http/https/mailto) are *not* fetched — CI must not
   depend on the network — but must at least parse (no spaces).
 
+``--require file.md#anchor`` additionally asserts that a named section
+exists — CI pins the sections other docs and tests point readers at, so
+a heading rename that would orphan those references fails the build.
+
 Exit status is the number of broken links (0 == all good).
 
 Usage::
 
     python tools/check_docs.py README.md ARCHITECTURE.md DESIGN.md EXPERIMENTS.md
+    python tools/check_docs.py README.md --require EXPERIMENTS.md#resilience-ext05
 """
 
 from __future__ import annotations
@@ -112,8 +117,36 @@ def check_file(path: Path, slug_cache: Dict[Path, List[str]]) -> List[str]:
     return errors
 
 
+def check_required_anchor(
+    requirement: str, slug_cache: Dict[Path, List[str]]
+) -> List[str]:
+    """``file.md#anchor`` must name an existing heading in that file."""
+    base, _, anchor = requirement.partition("#")
+    path = Path(base).resolve()
+    if not path.exists():
+        return [f"required section {requirement!r}: no such file {base!r}"]
+    if not anchor:
+        return [f"required section {requirement!r} has no #anchor part"]
+    if path not in slug_cache:
+        slug_cache[path] = heading_slugs(path)
+    if anchor.lower() not in slug_cache[path]:
+        return [
+            f"required section {requirement!r} not found; "
+            f"{path.name} has {slug_cache[path]}"
+        ]
+    return []
+
+
 def main(argv: List[str]) -> int:
-    files = [Path(arg) for arg in argv] or sorted(Path(".").glob("*.md"))
+    required: List[str] = []
+    positional: List[str] = []
+    arguments = iter(argv)
+    for argument in arguments:
+        if argument == "--require":
+            required.append(next(arguments, ""))
+        else:
+            positional.append(argument)
+    files = [Path(arg) for arg in positional] or sorted(Path(".").glob("*.md"))
     slug_cache: Dict[Path, List[str]] = {}
     errors: List[str] = []
     for path in files:
@@ -121,10 +154,16 @@ def main(argv: List[str]) -> int:
             errors.append(f"{path}: file does not exist")
             continue
         errors.extend(check_file(path, slug_cache))
+    for requirement in required:
+        errors.extend(check_required_anchor(requirement, slug_cache))
     for error in errors:
         print(error, file=sys.stderr)
     if not errors:
-        print(f"docs OK: {len(files)} files, all relative links and anchors resolve")
+        print(
+            f"docs OK: {len(files)} files, all relative links and anchors "
+            f"resolve"
+            + (f", {len(required)} required sections present" if required else "")
+        )
     return len(errors)
 
 
