@@ -25,6 +25,7 @@ import numpy as np
 
 from ..gpusim.context import GPUContext
 from ..gpusim.kernel import KernelStats
+from ..primitives.grouping import group_identify
 from ..primitives.hash_table import table_capacity
 from ..primitives.hashing import hash_to_slots
 from ..primitives.sector_analysis import analyze_indices
@@ -78,7 +79,7 @@ class HashGroupBy(GroupByAlgorithm):
         values: Dict[str, np.ndarray],
         aggregates: List[AggSpec],
     ) -> "OrderedDict[str, np.ndarray]":
-        group_keys, inverse = np.unique(keys, return_inverse=True)
+        group_keys, inverse = group_identify(keys)
         num_groups = int(group_keys.size)
         capacity = table_capacity(num_groups, self.config.table_load_factor)
         table_bytes = capacity * SLOT_BYTES
@@ -86,7 +87,9 @@ class HashGroupBy(GroupByAlgorithm):
         num_blocks = max(1, keys.size // ROWS_PER_BLOCK)
 
         with ctx.phase(AGGREGATE):
-            table = ctx.mem.alloc(table_bytes, np.uint8, "agg_table")
+            # Accounting-only scratch: the table's contents are never read
+            # host-side, so skip zero-initialization.
+            table = ctx.mem.alloc(table_bytes, np.uint8, "agg_table", zeroed=False)
             passes = [("hash_agg_keys", int(keys.nbytes))]
             passes += [
                 (

@@ -32,6 +32,7 @@ from ..errors import DeviceOutOfMemoryError
 from ..gpusim.context import GPUContext
 from ..gpusim.device import A100, CPU_SERVER, DeviceSpec
 from ..gpusim.kernel import KernelStats
+from ..primitives.grouping import stable_key_order
 from ..primitives.radix_partition import partition_codes
 from .base import AggSpec, GroupByResult
 from .planner import make_groupby_algorithm
@@ -232,7 +233,7 @@ class OutOfCoreGroupBy:
             ]
             return OrderedDict(columns), 0.0
         all_keys = np.concatenate([r.output["group_key"] for r in block_results])
-        order = np.argsort(all_keys, kind="stable")
+        order = stable_key_order(all_keys)
         output: "OrderedDict[str, np.ndarray]" = OrderedDict()
         output["group_key"] = all_keys[order]
         for name in block_results[0].output:

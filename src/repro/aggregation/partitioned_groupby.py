@@ -25,6 +25,7 @@ from ..errors import AggregationConfigError
 from ..gpusim.context import GPUContext
 from ..gpusim.kernel import KernelStats
 from ..primitives.gather import gather
+from ..primitives.grouping import group_identify
 from ..primitives.radix_partition import radix_partition
 from ..relational.types import id_dtype
 from .base import (
@@ -84,7 +85,7 @@ class PartitionedGroupBy(GroupByAlgorithm):
         aggregates: List[AggSpec],
     ) -> "OrderedDict[str, np.ndarray]":
         n = int(keys.size)
-        group_keys, inverse = np.unique(keys, return_inverse=True)
+        group_keys, inverse = group_identify(keys)
         num_groups = int(group_keys.size)
         # Target groups per partition: a shared-memory hash table of
         # 16-byte accumulator slots, half-loaded.
@@ -142,11 +143,12 @@ class PartitionedGroupBy(GroupByAlgorithm):
                 else:
                     # GFTR: lazily partition (key, column); the fold then
                     # streams the co-partitioned column sequentially.
-                    # Boundaries are reused from the transform phase.
+                    # Boundaries and the stable permutation are reused
+                    # from the transform phase.
                     lazy = radix_partition(
                         ctx, keys, [column], bits, phase=MATERIALIZE,
                         hashed=self.config.hashed_partitioning, label=spec.column,
-                        compute_boundaries=False,
+                        compute_boundaries=False, order=part.order,
                     )
                     folded_input = lazy.payloads[0]
                 output[spec.output_name] = segmented_aggregate(

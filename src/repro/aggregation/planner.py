@@ -19,9 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List
 
-import numpy as np
-
 from ..gpusim.device import A100, DeviceSpec
+from ..primitives.grouping import count_distinct
 from .hash_groupby import SLOT_BYTES
 
 #: Above this many rows per group, global atomic folds contend enough
@@ -49,8 +48,8 @@ def estimate_group_cardinality(
     1
     """
     if keys.size <= sample_limit:
-        return int(np.unique(keys).size)
-    return int(np.unique(keys[:: max(1, keys.size // sample_limit)]).size)
+        return count_distinct(keys)
+    return count_distinct(keys[:: max(1, keys.size // sample_limit)])
 
 
 @dataclass

@@ -23,6 +23,7 @@ from ..errors import AggregationConfigError
 from ..gpusim.context import GPUContext
 from ..gpusim.kernel import KernelStats
 from ..primitives.gather import gather
+from ..primitives.grouping import groups_from_sorted
 from ..primitives.sort_pairs import sort_pairs
 from ..relational.types import id_dtype
 from .base import (
@@ -83,12 +84,15 @@ class SortGroupBy(GroupByAlgorithm):
                 keys_sorted, (ids_sorted,) = sort_pairs(ctx, keys, [ids], phase=TRANSFORM)
                 ctx.mem.free(a_ids)
                 a_sorted_ids = ctx.mem.adopt(ids_sorted, "ids_sorted")
+                key_order = None
             else:
-                keys_sorted, _ = sort_pairs(ctx, keys, [], phase=TRANSFORM)
+                keys_sorted, _, key_order = sort_pairs(
+                    ctx, keys, [], phase=TRANSFORM, return_order=True
+                )
                 a_sorted_ids = None
             a_keys = ctx.mem.adopt(keys_sorted, "keys_sorted")
 
-        group_keys, inverse_sorted = np.unique(keys_sorted, return_inverse=True)
+        group_keys, inverse_sorted = groups_from_sorted(keys_sorted)
         num_groups = int(group_keys.size)
         output: "OrderedDict[str, np.ndarray]" = OrderedDict()
         output["group_key"] = group_keys
@@ -127,9 +131,11 @@ class SortGroupBy(GroupByAlgorithm):
                     )
                 else:
                     # Lazily re-sort (key, column): Algorithm 1 for
-                    # aggregations — sequential passes only.
+                    # aggregations — sequential passes only.  The stable
+                    # permutation is the one the transform sort computed.
                     _, (sorted_col,) = sort_pairs(
-                        ctx, keys, [column], phase=MATERIALIZE, label=spec.column
+                        ctx, keys, [column], phase=MATERIALIZE, label=spec.column,
+                        order=key_order,
                     )
                 output[spec.output_name] = segmented_aggregate(
                     inverse_sorted, num_groups, sorted_col, spec.op

@@ -26,15 +26,41 @@ from ..harness import DEFAULT_SCALE, ExperimentResult, make_setup
 PAPER_ITEMS = 1 << 27
 
 
-def _variant_seconds(device, n: int, variant: str, seed: int, bits: int) -> float:
+def _make_workload(n: int, seed: int) -> tuple:
+    """One workload per (n, seed), shared by all variants and devices.
+
+    The rng draw order matches the original per-variant generation
+    (keys, payload, match_map, then physical_ids), so results are
+    bit-identical to regenerating inside each variant.
+    """
     rng = np.random.default_rng(seed)
     keys = rng.permutation(n).astype(np.int32)
     payload = rng.integers(0, 1 << 30, n).astype(np.int32)
     match_map = np.sort(rng.permutation(n).astype(np.int32))  # matched, s-major
+    physical_ids = rng.permutation(n).astype(np.int32)
+    return keys, payload, match_map, physical_ids
 
+
+def _variant_seconds(device, workload, variant: str, bits: int, replay_cache: dict) -> float:
+    """Simulated seconds of one variant on one device.
+
+    The host-side data movement of a variant is device-independent (the
+    cost model is the only thing a :class:`DeviceSpec` feeds), so the
+    first device runs the variant for real and caches the submitted
+    ``(stats, phase)`` stream; later devices *replay* that stream through
+    a fresh context — identical kernels, identical accounting, no
+    re-execution of the array work.
+    """
+    cache_key = (variant, bits)
     ctx = GPUContext(device=device)
+    cached = replay_cache.get(cache_key)
+    if cached is not None:
+        for stats, phase in cached:
+            ctx.submit(stats, phase=phase)
+        return ctx.elapsed_seconds
+
+    keys, payload, match_map, physical_ids = workload
     if variant == "unclustered":
-        physical_ids = rng.permutation(n).astype(np.int32)
         gather(ctx, payload, physical_ids[match_map], phase="materialize")
     elif variant == "sort+clustered":
         _, (sorted_payload,) = sort_pairs(ctx, keys, [payload], phase="transform")
@@ -44,6 +70,7 @@ def _variant_seconds(device, n: int, variant: str, seed: int, bits: int) -> floa
         gather(ctx, part.payloads[0], match_map, phase="materialize")
     else:  # pragma: no cover - guarded by caller
         raise ValueError(variant)
+    replay_cache[cache_key] = [(r.stats, r.phase) for r in ctx.profiler.records]
     return ctx.elapsed_seconds
 
 
@@ -54,12 +81,17 @@ def run(scale: float = DEFAULT_SCALE, seed: int = 0) -> ExperimentResult:
         headers=["device", "unclustered", "sort+clustered", "partition+clustered",
                  "partition_speedup", "sort_speedup"],
     )
+    workloads: dict = {}
+    replay_cache: dict = {}
     for base_device in (A100, RTX3090):
         setup = make_setup(scale, device=base_device)
         n = setup.rows(PAPER_ITEMS)
         bits = max(1, int(np.ceil(np.log2(max(2, n / setup.config.tuples_per_partition)))))
+        if (n, seed) not in workloads:
+            workloads[(n, seed)] = _make_workload(n, seed)
+        workload = workloads[(n, seed)]
         seconds = {
-            variant: _variant_seconds(setup.device, n, variant, seed, bits)
+            variant: _variant_seconds(setup.device, workload, variant, bits, replay_cache)
             for variant in ("unclustered", "sort+clustered", "partition+clustered")
         }
         throughput = {k: n / v / 1e6 for k, v in seconds.items()}

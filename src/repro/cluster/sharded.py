@@ -40,6 +40,7 @@ from ..gpusim.device import A100, DeviceSpec
 from ..gpusim.kernel import KernelStats
 from ..joins.base import JoinConfig, JoinResult
 from ..joins.planner import JoinWorkloadProfile, make_algorithm, recommend_join_algorithm
+from ..primitives.grouping import stable_key_order
 from ..relational.relation import Relation
 from .context import ClusterContext
 from .shuffle import ShuffleResult, shard_to_relation, shuffle_columns, shuffle_relation
@@ -368,7 +369,7 @@ def sharded_group_by(
 
     # ... and k-way merge them into ascending group-key order.
     merged_keys = np.concatenate([res.output["group_key"] for res in per_device])
-    order = np.argsort(merged_keys, kind="stable")
+    order = stable_key_order(merged_keys)
     merged: "OrderedDict[str, np.ndarray]" = OrderedDict()
     for column in per_device[0].output:
         merged[column] = np.concatenate(

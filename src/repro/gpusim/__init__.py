@@ -20,13 +20,14 @@ from .device import (
     scaled_device,
 )
 from .kernel import KernelRecord, KernelStats
-from .memory import DeviceArray, DeviceMemory, MemoryReservation
+from .memory import BufferPool, DeviceArray, DeviceMemory, MemoryReservation
 from .profiler import ProfileCounters, Profiler
 from .timeline import PHASES, PhaseTimeline
 
 __all__ = [
     "A100",
     "BUILTIN_DEVICES",
+    "BufferPool",
     "CACHE_LINE_BYTES",
     "CPU_SERVER",
     "CostModel",

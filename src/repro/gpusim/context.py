@@ -17,7 +17,7 @@ from ..obs.session import current_session
 from .costmodel import CostModel
 from .device import A100, DeviceSpec
 from .kernel import KernelRecord, KernelStats
-from .memory import DeviceMemory
+from .memory import BufferPool, DeviceMemory
 from .profiler import Profiler
 from .timeline import PhaseTimeline
 
@@ -92,7 +92,7 @@ class GPUContext:
             injected = fault_plan.capacity_bytes(device)
             if injected is not None:
                 limit = injected if limit is None else min(limit, injected)
-        self.mem = DeviceMemory(limit)
+        self.mem = DeviceMemory(limit, pool=BufferPool())
         self.cost = CostModel(device)
         self.trace = trace if trace is not None else current_session()
         self.timeline = PhaseTimeline(trace=self.trace)
@@ -151,6 +151,40 @@ class GPUContext:
         if self.trace is not None:
             self.trace.record_kernel(record, self.device)
         return seconds
+
+    def submit_many(self, stats_list, phase: Optional[str] = None) -> float:
+        """Account a batch of kernels in one call; returns total seconds.
+
+        Semantically identical to submitting each record in order, but
+        validation, cost evaluation and timeline/profiler bookkeeping are
+        amortized across the batch.  Repeats of the *same*
+        :class:`KernelStats` object (an LSD sort charging one identical
+        kernel per pass) are costed once.  With a fault plan attached the
+        batch falls back to per-kernel :meth:`submit` so injection sites
+        and retry accounting stay unchanged.
+        """
+        if self.faults is not None:
+            return sum(self.submit(stats, phase=phase) for stats in stats_list)
+        records = []
+        prev: Optional[KernelStats] = None
+        prev_seconds = 0.0
+        total = 0.0
+        phase_name = phase or ""
+        for stats in stats_list:
+            if stats is prev:
+                seconds = prev_seconds
+            else:
+                stats.validate()
+                seconds = self.cost.time(stats)
+                prev, prev_seconds = stats, seconds
+            total += seconds
+            records.append(KernelRecord(stats=stats, seconds=seconds, phase=phase_name))
+        self.timeline.add_many(records)
+        self.profiler.record_many(records)
+        if self.trace is not None:
+            for record in records:
+                self.trace.record_kernel(record, self.device)
+        return total
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:

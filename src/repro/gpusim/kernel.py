@@ -101,16 +101,20 @@ class KernelStats:
 
     def validate(self) -> None:
         """Sanity-check invariants; raises ``ValueError`` on violation."""
-        for f in fields(self):
-            value = getattr(self, f.name)
-            if f.name in ("name",):
-                continue
-            if isinstance(value, (int, float)) and value < 0:
-                raise ValueError(f"KernelStats.{f.name} must be >= 0, got {value}")
+        for name in _NUMERIC_FIELDS:
+            value = getattr(self, name)
+            if value < 0:
+                raise ValueError(f"KernelStats.{name} must be >= 0, got {value}")
         if self.random_cold_sectors > self.random_sector_touches:
             raise ValueError("cold sectors cannot exceed total sector touches")
         if self.atomic_conflict_factor < 1.0:
             raise ValueError("atomic_conflict_factor must be >= 1")
+
+
+#: Field names checked for non-negativity, resolved once at import time —
+#: ``dataclasses.fields()`` per ``validate()`` call showed up in bench
+#: profiles at paper scale.
+_NUMERIC_FIELDS = tuple(f.name for f in fields(KernelStats) if f.name != "name")
 
 
 @dataclass

@@ -15,11 +15,71 @@ Python can reclaim host memory too).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+import sys
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from ..errors import AllocationError, DeviceOutOfMemoryError
+
+
+class BufferPool:
+    """Recycles the *host* ndarrays backing freed device arrays.
+
+    At paper scale (2^27 tuples) joins and group-bys allocate and free
+    the same handful of array shapes once per operator; materializing a
+    fresh numpy buffer each time dominates host wall-clock.  The pool
+    keeps freed backing buffers keyed by ``(shape, dtype)`` and hands
+    them back to subsequent allocations.
+
+    Only *simulation-host* cost changes: every allocation served from
+    the pool still goes through :meth:`DeviceMemory._register`, so
+    ``alloc_count``, current/peak bytes and OOM checks are identical
+    with and without pooling.  A freed buffer is recycled only when the
+    :class:`DeviceArray` held the sole reference (checked by refcount)
+    and owns its memory outright — adopted views or aliased arrays are
+    dropped as before.
+    """
+
+    def __init__(self, max_bytes: int = 8 << 30):
+        self.max_bytes = int(max_bytes)
+        self.pooled_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.recycled = 0
+        self.dropped = 0
+        self._buffers: Dict[Tuple[tuple, str], List[np.ndarray]] = {}
+
+    def take(self, shape, dtype) -> Optional[np.ndarray]:
+        """A pooled buffer of exactly ``(shape, dtype)``, or ``None``."""
+        shape_t = tuple(shape) if isinstance(shape, (tuple, list)) else (int(shape),)
+        key = (shape_t, np.dtype(dtype).str)
+        stack = self._buffers.get(key)
+        if stack:
+            data = stack.pop()
+            self.pooled_bytes -= data.nbytes
+            self.hits += 1
+            return data
+        self.misses += 1
+        return None
+
+    def give(self, data: np.ndarray) -> bool:
+        """Offer a buffer back to the pool; False when dropped (pool full)."""
+        if self.pooled_bytes + data.nbytes > self.max_bytes:
+            self.dropped += 1
+            return False
+        key = (data.shape, data.dtype.str)
+        self._buffers.setdefault(key, []).append(data)
+        self.pooled_bytes += data.nbytes
+        self.recycled += 1
+        return True
+
+    def clear(self) -> int:
+        """Drop all pooled buffers; returns the bytes released."""
+        released = self.pooled_bytes
+        self._buffers.clear()
+        self.pooled_bytes = 0
+        return released
 
 
 class DeviceArray:
@@ -120,10 +180,19 @@ class DeviceMemory:
     capacity_bytes:
         Simulated device capacity.  ``None`` disables the OOM check
         (useful for scaled-down unit tests).
+    pool:
+        An optional :class:`BufferPool` recycling the host buffers of
+        freed arrays.  Purely a host-side optimization — simulated
+        accounting (counts, current/peak bytes, OOM) is unaffected.
     """
 
-    def __init__(self, capacity_bytes: Optional[int] = None):
+    def __init__(
+        self,
+        capacity_bytes: Optional[int] = None,
+        pool: Optional[BufferPool] = None,
+    ):
         self.capacity_bytes = capacity_bytes
+        self.pool = pool
         self.current_bytes = 0
         self.peak_bytes = 0
         self._live: Dict[int, DeviceArray] = {}
@@ -137,13 +206,30 @@ class DeviceMemory:
 
     # -- allocation --------------------------------------------------------
 
-    def alloc(self, shape, dtype, label: str = "") -> DeviceArray:
-        """Allocate a zero-initialized device array."""
-        data = np.zeros(shape, dtype=dtype)
+    def alloc(self, shape, dtype, label: str = "", zeroed: bool = True) -> DeviceArray:
+        """Allocate a device array, zero-initialized unless ``zeroed=False``.
+
+        ``zeroed=False`` skips initialization (``np.empty`` semantics) for
+        scratch whose contents are never read before being written — e.g.
+        accounting-only hash tables.  Simulated accounting is identical.
+        """
+        data = self.pool.take(shape, dtype) if self.pool is not None else None
+        if data is not None:
+            if zeroed:
+                data.fill(0)
+        elif zeroed:
+            data = np.zeros(shape, dtype=dtype)
+        else:
+            data = np.empty(shape, dtype=dtype)
         return self._register(data, label)
 
     def from_host(self, array: np.ndarray, label: str = "") -> DeviceArray:
         """Copy a host numpy array onto the device (counts toward usage)."""
+        if self.pool is not None:
+            data = self.pool.take(array.shape, array.dtype)
+            if data is not None:
+                np.copyto(data, array)
+                return self._register(data, label)
         return self._register(np.ascontiguousarray(array).copy(), label)
 
     def adopt(self, array: np.ndarray, label: str = "") -> DeviceArray:
@@ -226,7 +312,18 @@ class DeviceMemory:
         self.current_bytes -= arr.nbytes
         self.free_count += 1
         arr._freed = True
+        data = arr._data
         arr._data = None  # type: ignore[assignment]
+        if (
+            self.pool is not None
+            and data is not None
+            and data.base is None
+            and data.flags.c_contiguous
+            # arr held the only other reference (local + getrefcount arg
+            # + nothing else) — adopted/aliased buffers are never pooled.
+            and sys.getrefcount(data) == 2
+        ):
+            self.pool.give(data)
 
     def free_all(self, arrays: Iterable[DeviceArray]) -> None:
         for arr in arrays:

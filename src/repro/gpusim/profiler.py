@@ -99,6 +99,9 @@ class Profiler:
     def record(self, record: KernelRecord) -> None:
         self._records.append(record)
 
+    def record_many(self, records: List[KernelRecord]) -> None:
+        self._records.extend(records)
+
     def clear(self) -> None:
         self._records.clear()
 

@@ -38,6 +38,23 @@ class PhaseTimeline:
         record.phase = phase
         self._records.setdefault(phase, []).append(record)
 
+    def add_many(self, records: List[KernelRecord]) -> None:
+        """Append a batch of records, resolving each record's phase.
+
+        Equivalent to calling :meth:`add` per record but amortizes the
+        per-phase bucket lookup across runs of same-phase records — the
+        common case for a batched primitive pipeline.
+        """
+        bucket: Optional[List[KernelRecord]] = None
+        bucket_phase: Optional[str] = None
+        for record in records:
+            phase = record.phase or self.current_phase or "other"
+            record.phase = phase
+            if phase != bucket_phase:
+                bucket = self._records.setdefault(phase, [])
+                bucket_phase = phase
+            bucket.append(record)
+
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
         """Attribute kernels submitted inside the block to *name*."""

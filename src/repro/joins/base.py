@@ -34,6 +34,7 @@ from ..gpusim.context import GPUContext
 from ..gpusim.device import A100, DeviceSpec
 from ..gpusim.kernel import KernelStats
 from ..relational.relation import Relation
+from ..primitives.grouping import count_distinct
 from ..relational.types import id_dtype
 
 #: Canonical phase names (order matters for reports).
@@ -203,7 +204,7 @@ def detect_unique_keys(keys: np.ndarray) -> bool:
     """True if all key values are distinct."""
     if keys.size <= 1:
         return True
-    return np.unique(keys).size == keys.size
+    return count_distinct(keys) == keys.size
 
 
 class JoinAlgorithm(ABC):

@@ -17,6 +17,8 @@ from typing import Tuple
 
 import numpy as np
 
+from ..primitives.grouping import stable_key_order
+
 
 def expand_bounds(
     lo: np.ndarray, hi: np.ndarray
@@ -54,7 +56,7 @@ def match_positions(
     if build_keys.size == 0 or probe_keys.size == 0:
         empty = np.empty(0, dtype=np.int64)
         return empty, empty
-    order = np.argsort(build_keys, kind="stable")
+    order = stable_key_order(build_keys)
     sorted_keys = build_keys[order]
     lo = np.searchsorted(sorted_keys, probe_keys, side="left")
     if unique_build_keys:

@@ -137,14 +137,16 @@ class SortMergeJoinOM(JoinAlgorithm):
     ) -> List[Tuple[str, np.ndarray]]:
         first_payload = {}
         sorted_keys = {}
+        key_orders = {}
         with ctx.phase(TRANSFORM):
             for side, rel in (("r", r), ("s", s)):
                 payload_names = rel.payload_names
                 first = payload_names[0] if payload_names else None
                 payloads = [rel.column(first)] if first else []
                 temp = ctx.mem.alloc(_sort_temp_bytes(rel.num_rows), np.uint8, "sort_temp")
-                keys_sorted, payloads_sorted = sort_pairs(
-                    ctx, rel.key_values, payloads, phase=TRANSFORM, label=side
+                keys_sorted, payloads_sorted, key_orders[side] = sort_pairs(
+                    ctx, rel.key_values, payloads, phase=TRANSFORM, label=side,
+                    return_order=True,
                 )
                 ctx.mem.free(temp)
                 sorted_keys[side] = ctx.mem.adopt(keys_sorted, f"keys_sorted_{side}")
@@ -189,9 +191,12 @@ class SortMergeJoinOM(JoinAlgorithm):
                     continue
                 # Lazily transform this payload column with the keys
                 # (Algorithm 1, lines 5 and 8), then gather clustered.
+                # The stable permutation from the transform-phase sort of
+                # the same keys is reused host-side.
                 temp = ctx.mem.alloc(_sort_temp_bytes(rel.num_rows), np.uint8, "sort_temp")
                 tk, (tcol,) = sort_pairs(
-                    ctx, rel.key_values, [rel.column(source)], phase=MATERIALIZE, label=out_name
+                    ctx, rel.key_values, [rel.column(source)], phase=MATERIALIZE, label=out_name,
+                    order=key_orders[side],
                 )
                 ctx.mem.free(temp)
                 a_tk = ctx.mem.adopt(tk, f"keys_resorted_{out_name}")

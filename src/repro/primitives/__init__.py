@@ -24,7 +24,20 @@ from .radix_partition import (
     radix_partition,
     radix_partition_pass,
 )
-from .sector_analysis import SectorStats, analyze_indices, sequential_stats
+from .grouping import (
+    count_distinct,
+    distinct_sorted,
+    group_identify,
+    groups_from_sorted,
+    stable_key_order,
+)
+from .sector_analysis import (
+    SectorStats,
+    analyze_indices,
+    get_sector_mode,
+    sequential_stats,
+    set_sector_mode,
+)
 from .sort_pairs import (
     argsort_cost_only,
     key_bits_for_dtype,
@@ -42,9 +55,14 @@ __all__ = [
     "argsort_cost_only",
     "bucket_chain_partition",
     "contention_factor",
+    "count_distinct",
+    "distinct_sorted",
     "exclusive_scan",
     "gather",
     "gather_stats_only",
+    "get_sector_mode",
+    "group_identify",
+    "groups_from_sorted",
     "hash_to_slots",
     "histogram",
     "key_bits_for_dtype",
@@ -59,7 +77,9 @@ __all__ = [
     "radix_partition_pass",
     "scatter",
     "sequential_stats",
+    "set_sector_mode",
     "sort_pairs",
     "sort_passes_for_dtype",
+    "stable_key_order",
     "upper_bounds",
 ]

@@ -1,0 +1,156 @@
+"""Sort-based group identification: a fast, exact `np.unique` replacement.
+
+``np.unique(keys, return_inverse=True)`` on high-cardinality integer
+keys is dominated by a hash-based distinct pass that runs ~15x slower
+than an explicit sort + boundary scan on this workload.  Every group-by
+variant and the join planner need exactly that operation, so this module
+centralizes a sort-based implementation whose outputs are *bit-identical*
+to ``np.unique`` (sorted group keys, first-occurrence inverse mapping)
+— the oracle tests in ``tests/primitives/test_grouping.py`` pin the
+equivalence, and ``relational/validation.py`` deliberately keeps the
+``np.unique`` formulation as the reference the fast path is checked
+against.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def group_identify(keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Sorted distinct keys plus the inverse mapping.
+
+    Exactly equivalent to ``np.unique(keys, return_inverse=True)``:
+    ``group_keys`` is sorted ascending and
+    ``group_keys[inverse] == keys``.  A non-stable argsort is safe here
+    because the inverse depends only on key *values*, never on the order
+    of equal elements.
+    """
+    n = int(keys.size)
+    if n == 0:
+        return keys[:0].copy(), np.empty(0, dtype=np.intp)
+    order = np.argsort(keys, kind="quicksort")
+    sorted_keys = keys[order]
+    boundaries = _boundaries(sorted_keys)
+    group_ids = np.cumsum(boundaries)
+    group_ids -= 1
+    inverse = np.empty(n, dtype=np.intp)
+    inverse[order] = group_ids
+    return sorted_keys[boundaries], inverse
+
+
+def groups_from_sorted(sorted_keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Like :func:`group_identify` but for *already sorted* keys.
+
+    Skips the argsort entirely: the inverse is just the running count of
+    group boundaries.  Equivalent to
+    ``np.unique(sorted_keys, return_inverse=True)`` when the input is
+    sorted ascending.
+    """
+    n = int(sorted_keys.size)
+    if n == 0:
+        return sorted_keys[:0].copy(), np.empty(0, dtype=np.intp)
+    boundaries = _boundaries(sorted_keys)
+    inverse = np.cumsum(boundaries).astype(np.intp, copy=False)
+    inverse -= 1
+    return sorted_keys[boundaries], inverse
+
+
+def count_distinct(keys: np.ndarray) -> int:
+    """Number of distinct values, via sort + boundary count.
+
+    Equivalent to ``np.unique(keys).size`` but avoids the hash-based
+    unique pass (~15x faster on high-cardinality ints) and materializes
+    no distinct-key array.
+    """
+    n = int(keys.size)
+    if n == 0:
+        return 0
+    sorted_keys = np.sort(keys, kind="quicksort")
+    return 1 + int(np.count_nonzero(sorted_keys[1:] != sorted_keys[:-1]))
+
+
+def distinct_sorted(keys: np.ndarray) -> np.ndarray:
+    """Sorted distinct values — ``np.unique(keys)`` without the hash pass."""
+    if keys.size == 0:
+        return keys[:0].copy()
+    sorted_keys = np.sort(keys, kind="quicksort")
+    return sorted_keys[_boundaries(sorted_keys)]
+
+
+def stable_key_order(keys: np.ndarray) -> np.ndarray:
+    """A stable sort permutation of *keys*, fast for narrow integer keys.
+
+    A comparison argsort of 4-byte ints costs seconds per 2^24 elements
+    on one core; numpy's *stable* argsort of <= 2-byte unsigned ints is
+    an O(n) LSD radix sort and roughly 5x faster.  Tiered strategy:
+
+    1. keys of <= 2 bytes — numpy's stable argsort is already radix;
+    2. value range fits 16 bits after shifting by the minimum — one
+       radix argsort of the shifted keys (stability and order are
+       preserved under the monotonic shift);
+    3. keys are a dense permutation of ``[min, min + n)`` (verified by
+       histogram) — the stable order is the inverse permutation, one
+       O(n) scatter;
+    4. other 4-byte integers — two chained 16-bit radix argsorts, LSD
+       composition of (2) over the low/high halves;
+    5. 8-byte integers whose span fits 32 bits (hash slots, tuple ids)
+       — shift by the minimum into uint32, then the same two-pass
+       radix as (4);
+    6. anything else — numpy's stable argsort.
+
+    Every tier returns the *bit-identical* permutation
+    ``np.argsort(keys, kind="stable")`` would.  The shifted values in
+    tiers 2-3 fit the key dtype (span <= 2^16 or span == n < 2^31), so
+    the subtraction cannot overflow.
+    """
+    n = int(keys.size)
+    if n == 0:
+        return np.empty(0, dtype=np.intp)
+    if keys.dtype.kind in "iu":
+        if keys.dtype.itemsize <= 2:
+            return np.argsort(keys, kind="stable")
+        lo = int(keys.min())
+        span = int(keys.max()) - lo + 1
+        if span <= 1 << 16:
+            shifted = keys if lo == 0 else keys - lo
+            return np.argsort(shifted.astype(np.uint16), kind="stable")
+        if span == n:
+            shifted = keys if lo == 0 else keys - lo
+            counts = np.bincount(shifted, minlength=n)
+            if counts.max() == 1:
+                # A permutation of [lo, lo + n): invert it.
+                order = np.empty(n, dtype=np.intp)
+                order[shifted] = np.arange(n, dtype=np.intp)
+                return order
+        if keys.dtype.itemsize == 4:
+            # LSD radix over two 16-bit digits; the sign bit of the high
+            # half is flipped so unsigned digit order matches signed order.
+            u = keys.view(np.uint32)
+            low = (u & np.uint32(0xFFFF)).astype(np.uint16)
+            high = (u >> np.uint32(16)).astype(np.uint16)
+            if keys.dtype.kind == "i":
+                high ^= np.uint16(0x8000)
+            order = np.argsort(low, kind="stable")
+            order = order[np.argsort(high[order], kind="stable")]
+            return order
+        if span <= 1 << 32:
+            # 8-byte ints whose values span < 2^32 (hash slots, tuple
+            # ids): shift into uint32 and run the same two-pass radix.
+            u = (keys - lo).astype(np.uint32)
+            low = (u & np.uint32(0xFFFF)).astype(np.uint16)
+            high = (u >> np.uint32(16)).astype(np.uint16)
+            order = np.argsort(low, kind="stable")
+            order = order[np.argsort(high[order], kind="stable")]
+            return order
+    return np.argsort(keys, kind="stable")
+
+
+def _boundaries(sorted_keys: np.ndarray) -> np.ndarray:
+    """Boolean mask marking the first element of each run in sorted keys."""
+    boundaries = np.empty(sorted_keys.size, dtype=bool)
+    boundaries[0] = True
+    np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=boundaries[1:])
+    return boundaries

@@ -21,6 +21,7 @@ from typing import List
 import numpy as np
 
 from ..errors import ReproError
+from .grouping import stable_key_order
 from .hashing import hash_to_slots
 
 #: Sentinel for an empty slot; keys must be >= 0 (dictionary-encoded).
@@ -82,7 +83,7 @@ def build_table(
             raise ReproError("hash-table insertion did not converge")
         slots = cur[pending]
         touched.append(slots.copy())
-        order = np.argsort(slots, kind="stable")
+        order = stable_key_order(slots)
         slots_sorted = slots[order]
         pending_sorted = pending[order]
         is_first = np.ones(slots_sorted.size, dtype=bool)
@@ -139,7 +140,10 @@ def probe_table(
     if hits_probe:
         probe_idx = np.concatenate(hits_probe)
         build_vals = np.concatenate(hits_value)
-        order = np.lexsort((build_vals, probe_idx))
+        # lexsort((b, a)) as a composition of stable sorts so narrow
+        # integer keys take the radix tiers in stable_key_order.
+        order = stable_key_order(build_vals)
+        order = order[stable_key_order(probe_idx[order])]
         probe_idx = probe_idx[order]
         build_vals = build_vals[order]
     else:

@@ -21,6 +21,7 @@ import numpy as np
 
 from ..gpusim.context import GPUContext
 from ..gpusim.kernel import KernelStats
+from .grouping import stable_key_order
 from .hashing import mix_hash, radix_digit
 
 #: Maximum radix bits a single invocation may use (256 partitions).
@@ -91,6 +92,10 @@ class Partitioned:
     total_bits: int
     hashed: bool
     passes: int
+    #: The stable permutation that produced this layout.  Pass it as
+    #: ``order=`` to later :func:`radix_partition` calls on the *same*
+    #: keys (lazy per-column transforms) to skip recomputing it.
+    order: Optional[np.ndarray] = None
 
     @property
     def num_partitions(self) -> int:
@@ -122,36 +127,53 @@ def radix_partition(
     hashed: bool = False,
     label: str = "",
     compute_boundaries: bool = True,
+    order: Optional[np.ndarray] = None,
 ) -> Partitioned:
     """Multi-pass stable radix partitioning into ``2**total_bits`` parts.
 
-    Runs ``ceil(total_bits / 8)`` RADIX-PARTITION invocations (the paper
-    uses 15-16 bits -> two invocations per column pair) and then computes
-    partition boundaries with a histogram + exclusive scan, because the
-    primitive itself leaves boundaries unknown (Section 4.3).
+    Charges ``ceil(total_bits / 8)`` RADIX-PARTITION invocations (the
+    paper uses 15-16 bits -> two invocations per column pair) and then
+    computes partition boundaries with a histogram + exclusive scan,
+    because the primitive itself leaves boundaries unknown (Section 4.3).
+
+    Host-side, the composed LSD passes are equivalent to ONE stable sort
+    of the full digit (each pass is a stable sort by a sub-digit), so
+    the data movement runs as a single argsort + gather — the simulated
+    per-pass kernels are unchanged, the result is bit-identical.
 
     ``compute_boundaries=False`` skips the boundary pass — correct when
     the same keys were already partitioned once (the partitioner is
     stable, so boundaries are identical; Algorithm 1's lazy per-column
-    transforms reuse them).
+    transforms reuse them).  ``order`` likewise reuses the stable
+    permutation of an earlier :class:`Partitioned` of the same keys,
+    skipping the host-side argsort entirely.
     """
-    keys_out = keys
-    payloads_out = list(payloads)
     pass_plan = plan_passes(total_bits)
     ctx.count("partition_passes", len(pass_plan))
-    for start_bit, num_bits in pass_plan:
-        keys_out, payloads_out = radix_partition_pass(
-            ctx,
-            keys_out,
-            payloads_out,
-            start_bit,
-            num_bits,
-            phase=phase,
-            hashed=hashed,
-            label=label,
-        )
 
-    codes = partition_codes(keys_out, total_bits, hashed=hashed)
+    codes = partition_codes(keys, total_bits, hashed=hashed)
+    if order is None:
+        # codes < 2**total_bits fit in int32 for any realistic bit
+        # budget, unlocking the packed fast path of stable_key_order.
+        narrow = codes.astype(np.int32, copy=False) if total_bits <= 31 else codes
+        order = stable_key_order(narrow)
+    keys_out = keys[order]
+    payloads_out = [p[order] for p in payloads]
+
+    payload_bytes = sum(int(p.nbytes) for p in payloads)
+    pass_stats = [
+        KernelStats(
+            name=f"radix_partition:{label}" if label else "radix_partition",
+            items=int(keys.size),
+            # fused histogram read of keys + read of keys & payloads
+            seq_read_bytes=2 * int(keys.nbytes) + payload_bytes,
+            seq_write_bytes=int(keys.nbytes) + payload_bytes,
+            atomic_ops=1 << num_bits,
+        )
+        for _, num_bits in pass_plan
+    ]
+    ctx.submit_many(pass_stats, phase=phase)
+
     counts = np.bincount(codes, minlength=1 << total_bits).astype(np.int64)
     offsets = np.zeros_like(counts)
     np.cumsum(counts[:-1], out=offsets[1:])
@@ -175,4 +197,5 @@ def radix_partition(
         total_bits=total_bits,
         hashed=hashed,
         passes=len(pass_plan),
+        order=order,
     )

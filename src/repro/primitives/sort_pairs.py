@@ -15,6 +15,7 @@ import numpy as np
 
 from ..gpusim.context import GPUContext
 from ..gpusim.kernel import KernelStats
+from .grouping import stable_key_order
 from .radix_partition import MAX_BITS_PER_PASS
 
 
@@ -36,33 +37,44 @@ def sort_pairs(
     phase: Optional[str] = None,
     key_bits: Optional[int] = None,
     label: str = "",
+    order: Optional[np.ndarray] = None,
+    return_order: bool = False,
 ) -> tuple:
     """Stably sort *payloads* (and the keys) by *keys*.
 
-    Returns ``(keys_sorted, payloads_sorted)``.  Charges one kernel per
-    8-bit LSD pass, each streaming the key and payload arrays once in and
-    once out.
+    Returns ``(keys_sorted, payloads_sorted)`` — plus the sort
+    permutation when ``return_order=True``.  Charges one kernel per
+    8-bit LSD pass, each streaming the key and payload arrays once in
+    and once out.
+
+    ``order`` supplies a precomputed stable sort permutation of *keys*
+    (from an earlier ``return_order=True`` call on the same keys).  The
+    charged kernels are identical — the simulated GPU still runs the
+    full sort — only the host-side permutation computation is skipped,
+    which is what Algorithm 1's lazy per-column transforms exploit.
     """
     if key_bits is None:
         key_bits = key_bits_for_dtype(keys.dtype)
     passes = max(1, -(-key_bits // MAX_BITS_PER_PASS))
 
-    order = np.argsort(keys, kind="stable")
+    if order is None:
+        order = stable_key_order(keys)
     keys_sorted = keys[order]
     payloads_sorted: List[np.ndarray] = [p[order] for p in payloads]
 
     payload_bytes = sum(int(p.nbytes) for p in payloads)
     per_pass_bytes = int(keys.nbytes) + payload_bytes
-    for pass_index in range(passes):
-        stats = KernelStats(
-            name=f"sort_pairs:{label}" if label else "sort_pairs",
-            items=int(keys.size),
-            # fused digit/histogram read + data read, then data write
-            seq_read_bytes=int(keys.nbytes) + per_pass_bytes,
-            seq_write_bytes=per_pass_bytes,
-            atomic_ops=1 << MAX_BITS_PER_PASS,
-        )
-        ctx.submit(stats, phase=phase, pass_index=pass_index)
+    stats = KernelStats(
+        name=f"sort_pairs:{label}" if label else "sort_pairs",
+        items=int(keys.size),
+        # fused digit/histogram read + data read, then data write
+        seq_read_bytes=int(keys.nbytes) + per_pass_bytes,
+        seq_write_bytes=per_pass_bytes,
+        atomic_ops=1 << MAX_BITS_PER_PASS,
+    )
+    ctx.submit_many([stats] * passes, phase=phase)
+    if return_order:
+        return keys_sorted, payloads_sorted, order
     return keys_sorted, payloads_sorted
 
 
@@ -80,15 +92,11 @@ def argsort_cost_only(
         key_bits = key_bytes * 8
     passes = max(1, -(-key_bits // MAX_BITS_PER_PASS))
     per_pass = num_items * (key_bytes + payload_bytes_per_item)
-    for pass_index in range(passes):
-        ctx.submit(
-            KernelStats(
-                name=f"sort_pairs:{label}" if label else "sort_pairs",
-                items=num_items,
-                seq_read_bytes=num_items * key_bytes + per_pass,
-                seq_write_bytes=per_pass,
-                atomic_ops=1 << MAX_BITS_PER_PASS,
-            ),
-            phase=phase,
-            pass_index=pass_index,
-        )
+    stats = KernelStats(
+        name=f"sort_pairs:{label}" if label else "sort_pairs",
+        items=num_items,
+        seq_read_bytes=num_items * key_bytes + per_pass,
+        seq_write_bytes=per_pass,
+        atomic_ops=1 << MAX_BITS_PER_PASS,
+    )
+    ctx.submit_many([stats] * passes, phase=phase)

@@ -71,6 +71,28 @@ class TestSampledRegime:
         keys = rng.integers(0, 1 << 20, 300_000).astype(np.int64)
         assert estimate_group_cardinality(keys) == estimate_group_cardinality(keys)
 
+    def test_stride_sample_semantics(self):
+        """Above the limit, the estimate is distinct-of-keys[::size//limit].
+
+        Pins the exact sampling rule (deterministic stride from element
+        0, floor-divided step) so the sort-based counting helper behind
+        it can't silently change which keys are examined.
+        """
+        from repro.primitives.grouping import count_distinct
+
+        rng = np.random.default_rng(13)
+        keys = rng.integers(0, 5000, 200_000).astype(np.int32)
+        limit = 1000
+        stride = keys.size // limit
+        expected = count_distinct(keys[::stride])
+        assert estimate_group_cardinality(keys, sample_limit=limit) == expected
+        # The stride starts at element 0: planting a unique sentinel
+        # there must always be visible to the estimate.
+        keys[0] = 999_983
+        assert estimate_group_cardinality(keys, sample_limit=limit) == count_distinct(
+            keys[::stride]
+        )
+
 
 class TestCallSitesAgree:
     """api.group_by and the executor resolve the same estimate."""

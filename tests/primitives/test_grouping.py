@@ -1,0 +1,125 @@
+"""Oracle tests: sort-based group identification vs np.unique semantics.
+
+The group-by variants and the join planner replaced their
+``np.unique(..., return_inverse=True)`` hot paths with the sort-based
+helpers in ``repro.primitives.grouping``.  These tests pin the helpers
+to the ``np.unique`` contract — sorted ascending group keys, inverse
+mapping with ``group_keys[inverse] == keys`` — including the empty,
+all-equal and all-distinct edge cases, and check the contract end to
+end through every group-by variant.
+"""
+
+import numpy as np
+import pytest
+
+from repro.aggregation import AggSpec, make_groupby_algorithm
+from repro.primitives.grouping import (
+    count_distinct,
+    distinct_sorted,
+    group_identify,
+    groups_from_sorted,
+    stable_key_order,
+)
+
+_RNG = np.random.default_rng(11)
+
+CASES = {
+    "empty": np.empty(0, dtype=np.int32),
+    "single": np.array([5], dtype=np.int64),
+    "all_equal": np.full(501, -3, dtype=np.int32),
+    "all_distinct": _RNG.permutation(1000).astype(np.int32),
+    "high_cardinality": _RNG.integers(-1000, 1000, 5000).astype(np.int32),
+    "few_groups": _RNG.integers(0, 7, 5000).astype(np.int64),
+    "presorted": np.sort(_RNG.integers(0, 100, 2000)).astype(np.int32),
+    "int64_wide": _RNG.integers(-(1 << 40), 1 << 40, 3000),
+    "uint32": _RNG.integers(0, 1 << 32, 3000, dtype=np.uint32),
+}
+
+
+@pytest.mark.parametrize("case", sorted(CASES), ids=str)
+class TestGroupIdentify:
+    def test_matches_np_unique(self, case):
+        keys = CASES[case]
+        expected_keys, expected_inverse = np.unique(keys, return_inverse=True)
+        group_keys, inverse = group_identify(keys)
+        assert np.array_equal(group_keys, expected_keys)
+        assert group_keys.dtype == keys.dtype
+        assert np.array_equal(inverse, expected_inverse)
+
+    def test_inverse_reconstructs_keys(self, case):
+        keys = CASES[case]
+        group_keys, inverse = group_identify(keys)
+        assert np.array_equal(group_keys[inverse], keys)
+
+    def test_count_and_distinct(self, case):
+        keys = CASES[case]
+        assert count_distinct(keys) == np.unique(keys).size
+        assert np.array_equal(distinct_sorted(keys), np.unique(keys))
+
+    def test_groups_from_sorted(self, case):
+        keys = np.sort(CASES[case])
+        expected_keys, expected_inverse = np.unique(keys, return_inverse=True)
+        group_keys, inverse = groups_from_sorted(keys)
+        assert np.array_equal(group_keys, expected_keys)
+        assert np.array_equal(inverse, expected_inverse)
+
+
+def _near_permutation(n: int) -> np.ndarray:
+    """min..max spans exactly n values but one is duplicated."""
+    keys = _RNG.permutation(n).astype(np.int32)
+    inner = 1 + int(np.flatnonzero((keys[1:-1] != 0) & (keys[1:-1] != n - 1))[0])
+    keys[inner] = keys[0]  # duplicate; 0 and n-1 still present
+    return keys
+
+
+class TestStableKeyOrder:
+    """Every tier returns np.argsort(keys, kind="stable") bit-identically."""
+
+    @pytest.mark.parametrize(
+        "dtype",
+        [np.int8, np.uint8, np.int16, np.uint16, np.int32, np.uint32,
+         np.int64, np.uint64],
+    )
+    def test_full_range(self, dtype):
+        info = np.iinfo(dtype)
+        keys = _RNG.integers(info.min, info.max, 4000, endpoint=True, dtype=dtype)
+        assert np.array_equal(
+            stable_key_order(keys), np.argsort(keys, kind="stable")
+        )
+
+    @pytest.mark.parametrize(
+        "name,keys",
+        [
+            ("narrow_span", _RNG.integers(0, 200, 4000).astype(np.int32)),
+            ("narrow_span_negative", (_RNG.integers(0, 200, 4000) - 100).astype(np.int32)),
+            ("dense_permutation", _RNG.permutation(8192).astype(np.int32)),
+            ("shifted_permutation", (_RNG.permutation(8192) - 4096).astype(np.int32)),
+            ("permutation_int64", _RNG.permutation(8192).astype(np.int64)),
+            ("int64_span32", _RNG.integers(-(1 << 30), 1 << 30, 4000)),
+            ("uint64_span32", _RNG.integers(1 << 40, (1 << 40) + (1 << 31), 4000).astype(np.uint64)),
+            # span == n (> 2^16) but with a duplicate: the histogram check
+            # must reject the scatter tier or the order would be garbage
+            ("near_permutation", _near_permutation(70000)),
+            ("floats", _RNG.standard_normal(1000)),
+            ("empty", np.empty(0, dtype=np.int32)),
+            ("constant", np.full(777, 42, dtype=np.int32)),
+        ],
+        ids=str,
+    )
+    def test_tier_patterns(self, name, keys):
+        assert np.array_equal(
+            stable_key_order(keys), np.argsort(keys, kind="stable")
+        )
+
+
+@pytest.mark.parametrize("strategy", ["HASH-AGG", "SORT-AGG", "PART-AGG"])
+@pytest.mark.parametrize("case", ["all_equal", "all_distinct", "high_cardinality"], ids=str)
+def test_groupby_variants_emit_np_unique_key_order(strategy, case):
+    """Each variant's output group keys follow np.unique order/values."""
+    keys = CASES[case].astype(np.int32)
+    values = {"v1": np.arange(keys.size, dtype=np.int64)}
+    result = make_groupby_algorithm(strategy).group_by(
+        keys, values, [AggSpec("v1", "count")], seed=0
+    )
+    assert np.array_equal(result.output["group_key"], np.unique(keys))
+    assert int(result.output["count_v1"].sum()) == keys.size

@@ -1,0 +1,167 @@
+"""Sampled vs exact sector accounting: bit-identity and error bands.
+
+Two guarantees back the sampled fast path in
+``repro.primitives.sector_analysis``:
+
+* **exact mode is frozen** — ``fixtures/sector_fixtures.json`` holds the
+  pre-refactor warp-by-warp accounting for 36 recorded index maps; exact
+  mode must reproduce every field bit-identically, forever;
+* **sampled mode is close** — on the access-pattern families the join
+  and group-by algorithms actually produce (permutations, sorted runs,
+  uniform draws, constants, clustered blocks), sampled statistics stay
+  within a few percent of exact.  The ``strided`` family is the
+  documented adversarial case: its heavy-tailed warp spans are mostly
+  invisible to a 2048-warp stride sample, so its cold-sector and span
+  errors can reach ~50% — asserted here as a *loose* band so the
+  limitation stays visible in the test suite rather than folklore.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.primitives.sector_analysis import (
+    SAMPLE_WARPS,
+    analyze_indices,
+    get_sector_mode,
+    set_sector_mode,
+)
+
+FIXTURES = json.loads(
+    (Path(__file__).parent / "fixtures" / "sector_fixtures.json").read_text()
+)
+
+#: Error bands asserted for sampled mode (relative error vs exact).
+WELL_BEHAVED_BANDS = {"spr": 0.02, "cold": 0.05, "span": 0.02}
+#: The documented adversarial family: stride sampling misses its
+#: heavy-tailed warp spans (see module docstring).
+STRIDED_BANDS = {"spr": 0.02, "cold": 0.60, "span": 0.60}
+
+
+def families(n, seed):
+    """The recorded fixture workloads — ONE rng shared across families.
+
+    This generator must match the one that produced
+    ``sector_fixtures.json`` exactly (a single ``default_rng`` consumed
+    sequentially), or the bit-identity test compares different arrays.
+    """
+    rng = np.random.default_rng(seed)
+    yield "permutation", rng.permutation(n).astype(np.int32)
+    yield "sorted", np.sort(rng.integers(0, 4 * n, n)).astype(np.int64)
+    yield "uniform", rng.integers(0, 16 * n, n).astype(np.int64)
+    yield "strided", (np.arange(n, dtype=np.int64) * 17) % (4 * n)
+    yield "constant", np.full(n, 3, dtype=np.int32)
+    yield "clustered_blocks", (
+        rng.integers(0, n // 64 or 1, n) * 64 + rng.integers(0, 64, n)
+    ).astype(np.int64)
+
+
+@pytest.fixture
+def sector_mode():
+    """Restore the process-wide sector mode after each test."""
+    previous = get_sector_mode()
+    yield
+    set_sector_mode(previous)
+
+
+def _rel_err(got, want) -> float:
+    return abs(got - want) / max(1e-12, abs(want))
+
+
+class TestExactBitIdentity:
+    """Exact mode reproduces the pre-refactor accounting exactly."""
+
+    @pytest.mark.parametrize(
+        "record",
+        FIXTURES,
+        ids=lambda r: f"{r['family']}-n{r['n']}-s{r['seed']}-eb{r['element_bytes']}",
+    )
+    def test_fixture(self, record, sector_mode):
+        arrays = dict(families(record["n"], record["seed"]))
+        indices = arrays[record["family"]]
+        assert str(indices.dtype) == record["dtype"]
+        set_sector_mode("exact")
+        stats = analyze_indices(indices, record["element_bytes"])
+        assert stats.requests == record["requests"]
+        assert stats.sector_touches == record["sector_touches"]
+        assert stats.cold_sectors == record["cold_sectors"]
+        assert stats.mean_warp_span_bytes == record["mean_warp_span_bytes"]
+
+
+class TestSampledBands:
+    """Sampled statistics stay within the documented error bands."""
+
+    N = 1 << 18
+
+    @pytest.mark.parametrize("element_bytes", [4, 8])
+    @pytest.mark.parametrize(
+        "family",
+        ["permutation", "sorted", "uniform", "strided", "constant",
+         "clustered_blocks"],
+    )
+    def test_error_bands(self, family, element_bytes, sector_mode):
+        indices = dict(families(self.N, 5))[family]
+        set_sector_mode("exact")
+        exact = analyze_indices(indices, element_bytes)
+        set_sector_mode("sampled")
+        sampled = analyze_indices(indices, element_bytes)
+
+        bands = STRIDED_BANDS if family == "strided" else WELL_BEHAVED_BANDS
+        assert sampled.requests == exact.requests
+        assert _rel_err(sampled.sectors_per_request, exact.sectors_per_request) <= bands["spr"]
+        assert _rel_err(sampled.cold_sectors, exact.cold_sectors) <= bands["cold"]
+        assert _rel_err(sampled.mean_warp_span_bytes, exact.mean_warp_span_bytes) <= bands["span"]
+
+    @pytest.mark.parametrize("element_bytes", [4, 8])
+    @pytest.mark.parametrize(
+        "family",
+        ["permutation", "sorted", "uniform", "strided", "constant",
+         "clustered_blocks"],
+    )
+    def test_invariants(self, family, element_bytes, sector_mode):
+        """Structural invariants hold regardless of sampling error."""
+        indices = dict(families(self.N, 9))[family]
+        set_sector_mode("sampled")
+        stats = analyze_indices(indices, element_bytes)
+        assert stats.requests == -(-indices.size // 32)
+        assert stats.requests <= stats.sector_touches <= stats.requests * 32
+        assert 1 <= stats.cold_sectors <= stats.sector_touches
+        assert stats.mean_warp_span_bytes >= element_bytes
+
+
+class TestModeSelection:
+    def test_set_returns_previous(self, sector_mode):
+        assert set_sector_mode("exact") == "auto"
+        assert set_sector_mode("sampled") == "exact"
+        assert get_sector_mode() == "sampled"
+
+    def test_invalid_mode_rejected(self, sector_mode):
+        with pytest.raises(ValueError):
+            set_sector_mode("fast")
+
+    def test_auto_below_threshold_is_exact(self, sector_mode):
+        """auto mode is bit-identical to exact below the size threshold."""
+        indices = dict(families(1 << 14, 3))["uniform"]
+        set_sector_mode("exact")
+        exact = analyze_indices(indices, 4)
+        set_sector_mode("auto")
+        assert analyze_indices(indices, 4) == exact
+
+    def test_sampled_tiny_input_falls_back_to_exact(self, sector_mode):
+        """Below one full warp, sampled mode delegates to exact."""
+        indices = np.array([7, 3, 900, 2], dtype=np.int64)
+        set_sector_mode("exact")
+        exact = analyze_indices(indices, 8)
+        set_sector_mode("sampled")
+        assert analyze_indices(indices, 8) == exact
+
+    def test_sample_cap_respected(self, sector_mode):
+        """The sample analyzes at most ~2 * SAMPLE_WARPS warps."""
+        # Stride = full_warps // SAMPLE_WARPS floors, so the warp count
+        # stays below 2 * SAMPLE_WARPS; this guards the O(sample) bound.
+        n = 1 << 21
+        full_warps = n // 32
+        stride = max(1, full_warps // SAMPLE_WARPS)
+        assert full_warps / stride < 2 * SAMPLE_WARPS
