@@ -1,0 +1,22 @@
+"""ext07: chaos soak over the reliability layer.
+
+Regenerates the experiment table into ``bench_results/ext07.txt``.
+Run: ``pytest benchmarks/bench_ext07.py --benchmark-only -s``
+"""
+
+from repro.bench.experiments import ext07
+
+from _common import SWEEP_SCALE, run_and_report
+
+
+def test_ext07(benchmark):
+    result = run_and_report(benchmark, ext07.run, SWEEP_SCALE)
+    assert result.findings["no_stalls_all_outcomes_recorded"] == 1.0
+    assert result.findings["zero_reservation_leaks"] == 1.0
+    assert result.findings["completed_bit_identical"] == 1.0
+    assert result.findings["non_completed_all_typed"] == 1.0
+    assert result.findings["deterministic_replay"] == 1.0
+    assert result.findings["greedy_peak_concurrency"] <= 1.0
+    assert result.findings["polite_completed_under_flood"] > 0
+    assert result.findings["cancelled_total"] > 0
+    assert result.findings["soak_simulated_seconds"] >= 1000.0

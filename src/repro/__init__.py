@@ -18,6 +18,7 @@ from .aggregation import (
     recommend_groupby_algorithm,
 )
 from .api import group_by, join, query_server
+from .cancel import CancellationToken, current_token
 from .cluster import (
     ClusterContext,
     ClusterSpec,
@@ -36,14 +37,19 @@ from .errors import (
     GracefulDegradationError,
     InvalidRelationError,
     JoinConfigError,
+    QueryCancelledError,
     ReproError,
     ServeConfigError,
     ShardedExecutionWarning,
     WorkloadError,
 )
 from .serve import (
+    BrownoutController,
+    BrownoutPolicy,
     QueryServer,
     QueryTemplate,
+    RetryBudget,
+    TenantQuota,
     WorkloadDriver,
     write_serve_trace,
 )
@@ -79,8 +85,11 @@ __all__ = [
     "AdmissionError",
     "AggSpec",
     "AggregationConfigError",
+    "BrownoutController",
+    "BrownoutPolicy",
     "CPURadixJoin",
     "CPU_SERVER",
+    "CancellationToken",
     "ClusterContext",
     "ClusterSpec",
     "DeviceOutOfMemoryError",
@@ -103,18 +112,22 @@ __all__ = [
     "PartitionedGroupBy",
     "PartitionedHashJoin",
     "PartitionedHashJoinUM",
+    "QueryCancelledError",
     "QueryServer",
     "QueryTemplate",
     "RTX3090",
     "Relation",
     "ReproError",
+    "RetryBudget",
     "ServeConfigError",
     "SortGroupBy",
     "SortMergeJoinOM",
     "SortMergeJoinUM",
+    "TenantQuota",
     "TraceSession",
     "WorkloadDriver",
     "WorkloadError",
+    "current_token",
     "group_by",
     "join",
     "query_server",

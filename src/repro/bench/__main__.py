@@ -86,6 +86,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--queries-per-phase",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "queries per chaos phase for soak experiments; forwarded to "
+            "experiments that take a 'queries_per_phase' knob (ext07)"
+        ),
+    )
+    parser.add_argument(
         "--trace",
         metavar="DIR",
         default=None,
@@ -132,6 +142,8 @@ def main(argv=None) -> int:
             kwargs["fault_seed"] = args.fault_seed
         if args.capacity_frac is not None and "capacity_fracs" in params:
             kwargs["capacity_fracs"] = tuple(args.capacity_frac)
+        if args.queries_per_phase is not None and "queries_per_phase" in params:
+            kwargs["queries_per_phase"] = args.queries_per_phase
         if args.trace and "trace_dir" in params:
             kwargs["trace_dir"] = args.trace
         if args.trace:

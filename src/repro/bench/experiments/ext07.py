@@ -1,0 +1,457 @@
+"""ext07: chaos soak — faults, overload, deadlines, tenants, updates.
+
+The reliability extension's acceptance harness.  One
+:class:`~repro.serve.server.QueryServer` (quotas, retry budget,
+brownout, deadlines all armed) is driven through five consecutive chaos
+phases on the simulated clock, each spanning hundreds of simulated
+seconds so the whole soak covers thousands:
+
+* ``baseline`` — light mixed-tenant load; everything should complete.
+* ``fault-storm`` — transient kernel faults on most queries plus a few
+  shrunken-capacity plans that force degradation ladders; the retry
+  budget bounds server-wide recovery time.
+* ``overload`` — synchronized arrival bursts overwhelm the queue; the
+  brownout controller degrades and sheds, tight deadlines cancel
+  queries at kernel/superstep/stream boundaries.
+* ``greedy-tenant`` — one tenant floods the server under a concurrency
+  quota; the quota must demonstrably cap it without starving the
+  polite tenant.
+* ``update-storm`` — registered relations are replaced mid-run,
+  invalidating caches while queries are queued and in flight.
+
+After the soak, the harness asserts the reliability invariants:
+
+1. **no stalls** — the server drains; every submission has exactly one
+   outcome;
+2. **zero leaks** — reserved bytes, live allocations and per-tenant
+   accounting all return to zero after every outcome type;
+3. **bit-identity** — every completed query's output equals a direct
+   ``execute()`` of the same plan *version* (fault-injected queries:
+   equal up to row order, the fault framework's contract);
+4. **typed outcomes** — every non-completed query carries a typed
+   error with a machine-readable reason;
+5. **determinism** — the entire soak replays bit-identically for the
+   same seed (the whole scenario is run twice and compared).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ...aggregation.base import AggSpec
+from ...faults import FaultPlan
+from ...query.executor import execute
+from ...query.plan import Aggregate, Join, Scan
+from ...serve.brownout import BrownoutPolicy
+from ...serve.quota import RetryBudget, TenantQuota
+from ...serve.server import QueryServer
+from ...serve.trace import write_serve_trace
+from ...workloads.generators import JoinWorkloadSpec, generate_join_workload
+from ..harness import DEFAULT_SCALE, ExperimentResult, Setup, make_setup
+from .ext06 import _outputs_equal
+
+#: Serving queries are interactive-scale: 1/8 the microbenchmark rows.
+PAPER_ROWS = 1 << 24
+STREAMS = 4
+QUEUE_DEPTH = 8
+#: Simulated seconds per chaos phase; five phases -> a soak measured in
+#: thousands of simulated seconds (queries themselves take ~1e-4 s, so
+#: the horizon is dominated by arrival spacing, which is free).
+PHASE_SPAN_S = 600.0
+QUERIES_PER_PHASE = 20
+FAULT_RATE = 0.3
+PHASES = ("baseline", "fault-storm", "overload", "greedy-tenant", "update-storm")
+
+
+def _relations(setup: Setup, seed: int):
+    spec = JoinWorkloadSpec(
+        r_rows=setup.rows(PAPER_ROWS),
+        s_rows=setup.rows(PAPER_ROWS),
+        r_payload_columns=1,
+        s_payload_columns=1,
+        seed=seed,
+    )
+    return generate_join_workload(spec)
+
+
+def _templates(r, s):
+    return {
+        "join": Join(Scan(r), Scan(s)),
+        "agg": Aggregate(
+            Join(Scan(r), Scan(s)),
+            group_column="r1",
+            aggregates=(AggSpec("s1", "sum"),),
+        ),
+    }
+
+
+class _Soak:
+    """One full chaos scenario against one server (deterministic per seed)."""
+
+    def __init__(self, setup: Setup, seed: int, queries_per_phase: int,
+                 phase_span_s: float):
+        self.setup = setup
+        self.seed = seed
+        self.queries_per_phase = queries_per_phase
+        self.phase_span_s = phase_span_s
+        self.version = 0
+        self.relations = _relations(setup, seed)
+        self.mean_solo_s = self._measure_solo()
+        self.storm_retry_s = self._measure_retry()
+        self.server = QueryServer(
+            streams=STREAMS,
+            device=setup.device,
+            config=setup.config,
+            seed=seed,
+            queue_depth=QUEUE_DEPTH,
+            tenants={
+                "greedy": TenantQuota(max_concurrent=1, max_queue_depth=6),
+            },
+            # Enough budget for roughly the first half of the fault storm
+            # (sized from a probed faulted run, since absolute backoff
+            # constants dwarf scaled-down kernel times), then a slow
+            # refill: the storm's tail is deterministically turned away
+            # instead of monopolizing the device.
+            retry_budget=RetryBudget(
+                initial_s=self.storm_retry_s * (queries_per_phase / 2),
+                refill_per_s=self.storm_retry_s / phase_span_s,
+            ),
+            brownout=BrownoutPolicy(
+                degrade_enter=0.60, degrade_exit=0.30,
+                shed_enter=0.95, shed_exit=0.50, shed_fraction=0.5,
+            ),
+        )
+        self.server.register("r", self.relations[0])
+        self.server.register("s", self.relations[1])
+        self.truth: Dict[str, object] = {}
+        self.meta: Dict[int, Tuple[str, bool]] = {}  # query_id -> (tag, faulted)
+        self.phase_rows: List[tuple] = []
+        self.rng = np.random.default_rng(seed + 100)
+
+    def _measure_solo(self) -> float:
+        result = execute(
+            _templates(*self.relations)["join"],
+            device=self.setup.device,
+            config=self.setup.config,
+            seed=self.seed,
+        )
+        solo = result.total_seconds
+        del result
+        return max(solo, 1e-9)
+
+    def _measure_retry(self) -> float:
+        """Mean retry seconds one storm query spends (budget sizing).
+
+        Probes both storm shapes — the plain transient-fault join and
+        the capacity-squeezed one whose degradation ladder multiplies
+        retries — since absolute backoff constants make retry time
+        incomparable to kernel time across scales.
+        """
+        from ...obs.session import TraceSession
+        from ...query.executor import QueryExecutor
+
+        plan = _templates(*self.relations)["join"]
+        spends = []
+        for fault_plan in self._storm_plans():
+            session = TraceSession("ext07-retry-probe")
+            QueryExecutor(
+                device=self.setup.device,
+                config=self.setup.config,
+                seed=self.seed,
+                fault_plan=fault_plan,
+            ).execute(plan, trace=session)
+            spends.append(session.metrics.value("fault_retry_seconds"))
+        # Weight like the storm itself: 3 plain for every squeezed.
+        storm_s, squeeze_s = spends
+        return max((3 * storm_s + squeeze_s) / 4, 1e-9)
+
+    def _storm_plans(self) -> Tuple[FaultPlan, FaultPlan]:
+        storm = FaultPlan(seed=self.seed + 17, kernel_fault_rate=FAULT_RATE)
+        squeeze = FaultPlan(
+            seed=self.seed + 18, kernel_fault_rate=FAULT_RATE,
+            capacity_frac=0.02,
+        )
+        return storm, squeeze
+
+    def _truth_for(self, name: str, plan) -> str:
+        tag = f"{name}@v{self.version}"
+        if tag not in self.truth:
+            self.truth[tag] = execute(
+                plan,
+                device=self.setup.device,
+                config=self.setup.config,
+                seed=self.seed,
+            ).output
+        return tag
+
+    def _submit(self, name: str, plan, at_s: float, **kwargs) -> int:
+        tag = self._truth_for(name, plan)
+        query_id = self.server.submit(plan, at_s=at_s, tag=tag, **kwargs)
+        self.meta[query_id] = (tag, kwargs.get("fault_plan") is not None)
+        return query_id
+
+    def _record_phase(self, phase: str, first_outcome: int) -> None:
+        outcomes = self.server.outcomes[first_outcome:]
+        by_status = {
+            status: sum(1 for o in outcomes if o.status == status)
+            for status in ("completed", "rejected", "cancelled", "failed")
+        }
+        self.phase_rows.append((
+            phase,
+            len(outcomes),
+            by_status["completed"],
+            by_status["rejected"],
+            by_status["cancelled"],
+            by_status["failed"],
+            self.server.clock_s,
+            self.server.brownout.level_name,
+        ))
+
+    # -- phases ------------------------------------------------------------
+
+    def run(self) -> None:
+        start = 0.0
+        for phase in PHASES:
+            first = len(self.server.outcomes)
+            getattr(self, "_phase_" + phase.replace("-", "_"))(start)
+            self.server.run(until_s=start + self.phase_span_s)
+            self._record_phase(phase, first)
+            start += self.phase_span_s
+        self.server.run()  # drain whatever the horizon left queued
+
+    def _phase_baseline(self, start: float) -> None:
+        templates = _templates(*self.relations)
+        names = list(templates)
+        for index in range(self.queries_per_phase):
+            at = start + (index + 1) * self.phase_span_s / (
+                self.queries_per_phase + 2
+            )
+            name = names[int(self.rng.integers(0, len(names)))]
+            tenant = "polite" if index % 3 else "greedy"
+            self._submit(
+                name, templates[name], at,
+                tenant=tenant, deadline_s=self.mean_solo_s * 200,
+            )
+
+    def _phase_fault_storm(self, start: float) -> None:
+        templates = _templates(*self.relations)
+        storm, squeeze = self._storm_plans()
+        for index in range(self.queries_per_phase):
+            at = start + (index + 1) * self.phase_span_s / (
+                self.queries_per_phase + 2
+            )
+            plan = storm if index % 4 else squeeze
+            self._submit(
+                "join", templates["join"], at,
+                fault_plan=plan, deadline_s=self.mean_solo_s * 500,
+            )
+
+    def _phase_overload(self, start: float) -> None:
+        # Each burst query joins its own fresh (unregistered) relation
+        # pair: the bursts are real device work, not cache hits, so the
+        # queue genuinely backs up and deadlines genuinely bind.
+        bursts = 2
+        per_burst = max(1, self.queries_per_phase // bursts)
+        for burst in range(bursts):
+            at = start + (burst + 1) * self.phase_span_s / (bursts + 1)
+            for index in range(per_burst):
+                r, s = _relations(
+                    self.setup, self.seed + 500 + 50 * burst + index
+                )
+                # A mix of tight deadlines (cancel mid-execution), binding
+                # ones (cancel while queued or on the stream) and holes
+                # (no deadline at all).  The first two per burst are
+                # forced so every seed exercises both cancel paths.
+                draw = (
+                    0 if index == 0
+                    else 1 if index == 1
+                    else int(self.rng.integers(0, 3))
+                )
+                deadline = (
+                    self.mean_solo_s * 0.5 if draw == 0
+                    else self.mean_solo_s * 6 if draw == 1
+                    else None
+                )
+                self._submit(
+                    f"ov{burst}-{index}", Join(Scan(r), Scan(s)), at,
+                    priority=int(self.rng.integers(0, 2)),
+                    deadline_s=deadline,
+                )
+
+    def _phase_greedy_tenant(self, start: float) -> None:
+        templates = _templates(*self.relations)
+        at = start + self.phase_span_s / 4
+        greedy = (2 * self.queries_per_phase) // 3
+        for index in range(greedy):
+            self._submit("join", templates["join"], at, tenant="greedy")
+        for index in range(self.queries_per_phase - greedy):
+            self._submit(
+                "agg", templates["agg"],
+                at + index * self.mean_solo_s,
+                tenant="polite",
+            )
+
+    def _phase_update_storm(self, start: float) -> None:
+        waves = 3
+        per_wave = max(1, self.queries_per_phase // waves)
+        for wave in range(waves):
+            wave_start = start + wave * self.phase_span_s / waves
+            if wave:
+                # Advance the serving clock into the wave, then swap the
+                # catalog out from under queued/cached state.
+                self.server.run(until_s=wave_start)
+                self.version += 1
+                self.relations = _relations(
+                    self.setup, self.seed + 1000 * self.version
+                )
+                self.server.update("r", self.relations[0])
+                self.server.update("s", self.relations[1])
+            templates = _templates(*self.relations)
+            names = list(templates)
+            for index in range(per_wave):
+                at = wave_start + (index + 1) * (
+                    self.phase_span_s / waves / (per_wave + 2)
+                )
+                name = names[int(self.rng.integers(0, len(names)))]
+                self._submit(name, templates[name], max(at, self.server.clock_s))
+
+    # -- invariants --------------------------------------------------------
+
+    def check_invariants(self) -> Dict[str, float]:
+        server = self.server
+        outcomes = server.outcomes
+        submitted = len(self.meta)
+        drained = len(outcomes) == submitted and not server._inflight
+        no_leaks = (
+            server.memory.reserved_bytes == 0
+            and server.memory.current_bytes == 0
+            and all(
+                state.inflight == 0
+                and state.reserved_bytes == 0
+                and state.queued == 0
+                for state in server.tenants.values()
+            )
+        )
+        identical = True
+        typed = True
+        for outcome in outcomes:
+            tag, faulted = self.meta[outcome.query_id]
+            if outcome.status == "completed":
+                identical &= _outputs_equal(
+                    self.truth[tag], outcome.output, unordered=faulted
+                )
+            else:
+                typed &= outcome.error is not None and bool(
+                    getattr(outcome.error, "reason", "")
+                )
+        greedy_peak = self._peak_overlap("greedy")
+        polite_done = sum(
+            1
+            for o in outcomes
+            if o.tenant == "polite" and o.status == "completed"
+        )
+        return {
+            "drained": float(drained),
+            "no_leaks": float(no_leaks),
+            "identical": float(identical),
+            "typed": float(typed),
+            "greedy_peak_concurrency": float(greedy_peak),
+            "polite_completed": float(polite_done),
+        }
+
+    def _peak_overlap(self, tenant: str) -> int:
+        """Max queries of *tenant* simultaneously in service."""
+        events = []
+        for o in self.server.outcomes:
+            if o.tenant == tenant and o.status in ("completed", "cancelled",
+                                                   "failed") and o.stream >= 0:
+                events.append((o.admitted_s, 1))
+                events.append((o.finish_s, -1))
+        peak = live = 0
+        # Departures before arrivals at equal instants: the server frees
+        # a finishing query's slot before admitting the next one.
+        for _, delta in sorted(events):
+            live += delta
+            peak = max(peak, live)
+        return peak
+
+    def signature(self) -> List[tuple]:
+        """Replay-comparable digest of the entire soak."""
+        return [
+            (
+                o.query_id,
+                o.status,
+                o.tenant,
+                round(o.finish_s, 9),
+                getattr(o.error, "reason", None),
+                o.stream,
+            )
+            for o in self.server.outcomes
+        ]
+
+
+def run(
+    scale: float = DEFAULT_SCALE,
+    seed: int = 0,
+    queries_per_phase: int = QUERIES_PER_PHASE,
+    phase_span_s: float = PHASE_SPAN_S,
+    trace_dir: Optional[str] = None,
+) -> ExperimentResult:
+    setup = make_setup(scale)
+    result = ExperimentResult(
+        experiment_id="ext07",
+        title="Chaos soak: faults + overload + deadlines + tenants + "
+        "updates under the reliability invariants",
+        headers=[
+            "phase", "queries", "done", "rej", "cancel", "fail",
+            "clock_s", "brownout",
+        ],
+    )
+
+    soak = _Soak(setup, seed, queries_per_phase, phase_span_s)
+    soak.run()
+    for row in soak.phase_rows:
+        result.add_row(*row)
+    invariants = soak.check_invariants()
+
+    # Determinism: the identical scenario must replay bit-for-bit.
+    replay = _Soak(setup, seed, queries_per_phase, phase_span_s)
+    replay.run()
+    deterministic = soak.signature() == replay.signature()
+
+    report = soak.server.report()
+    counters = report.counters
+    result.findings["soak_simulated_seconds"] = soak.server.clock_s
+    result.findings["no_stalls_all_outcomes_recorded"] = invariants["drained"]
+    result.findings["zero_reservation_leaks"] = invariants["no_leaks"]
+    result.findings["completed_bit_identical"] = invariants["identical"]
+    result.findings["non_completed_all_typed"] = invariants["typed"]
+    result.findings["deterministic_replay"] = float(deterministic)
+    result.findings["greedy_peak_concurrency"] = invariants[
+        "greedy_peak_concurrency"
+    ]
+    result.findings["polite_completed_under_flood"] = invariants[
+        "polite_completed"
+    ]
+    result.findings["cancelled_total"] = float(report.cancelled)
+    result.findings["brownout_transitions"] = counters.get(
+        "serve.brownout_transitions", 0.0
+    )
+    result.findings["retry_budget_rejections"] = counters.get(
+        "serve.rejected_retry_budget", 0.0
+    )
+    result.add_note(
+        f"soak horizon {soak.server.clock_s:.0f} simulated seconds across "
+        f"{len(PHASES)} phases; greedy tenant quota max_concurrent=1 "
+        f"observed peak {invariants['greedy_peak_concurrency']:.0f}"
+    )
+    result.add_note(
+        "every completed output checked against a direct execute() of the "
+        "same catalog version; fault-injected queries compared unordered "
+        "(the fault framework's contract)"
+    )
+    if trace_dir is not None:
+        write_serve_trace(soak.server, f"{trace_dir}/ext07-soak.trace.json")
+    return result

@@ -1,0 +1,170 @@
+"""Cooperative cancellation on the simulated clock.
+
+A :class:`CancellationToken` carries a query's simulated deadline and
+the simulated seconds it has consumed so far.  Execution layers *check*
+the token at their natural unwind points — kernel submission
+(:meth:`GPUContext.submit <repro.gpusim.context.GPUContext.submit>`),
+cluster superstep boundaries
+(:class:`~repro.cluster.context.ClusterContext`), and executor operator
+boundaries — and *charge* it with the simulated time of the work they
+account.  When the consumed time crosses the deadline, the next check
+raises a typed :class:`~repro.errors.QueryCancelledError` and the query
+unwinds cleanly through ordinary exception propagation: context
+managers release buffers, the serving layer frees the query's
+:class:`~repro.gpusim.memory.MemoryReservation`, and the outcome is
+recorded with the reason and the boundary that observed it.
+
+Cancellation is *cooperative* by design: a kernel that has been
+submitted always completes (and is charged) before the token is
+consulted again, mirroring how a real GPU cannot interrupt a launched
+kernel.  Tokens are therefore checked before starting new work, never
+during it.
+
+Activation mirrors :func:`repro.obs.session.current_session`: a
+stack-based ambient token that :class:`~repro.gpusim.context.GPUContext`
+picks up at construction, so the token reaches the per-algorithm
+contexts created deep inside join/group-by implementations without
+threading a parameter through every signature.
+
+>>> from repro.cancel import CancellationToken
+>>> token = CancellationToken(deadline_s=1.0)
+>>> token.charge(0.4); token.check("kernel:probe")   # still in budget
+>>> token.charge(0.7)
+>>> token.expired
+True
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
+
+from .errors import QueryCancelledError
+
+_ACTIVE_TOKENS: List["CancellationToken"] = []
+
+
+def current_token() -> Optional["CancellationToken"]:
+    """The innermost active token, or ``None``."""
+    return _ACTIVE_TOKENS[-1] if _ACTIVE_TOKENS else None
+
+
+class CancellationToken:
+    """Deadline + consumed-time state shared by one query's execution.
+
+    Parameters
+    ----------
+    deadline_s:
+        Absolute simulated deadline.  ``None`` means the token can only
+        be cancelled explicitly via :meth:`cancel`.
+    start_s:
+        Clock position at which execution began (the serving layer
+        passes the admission time); ``now_s`` is ``start_s`` plus all
+        charged seconds.
+    label:
+        Diagnostic name carried into the raised error message.
+    """
+
+    __slots__ = (
+        "deadline_s", "start_s", "consumed_s", "label",
+        "cancelled", "reason", "site", "checks",
+    )
+
+    def __init__(
+        self,
+        deadline_s: Optional[float] = None,
+        start_s: float = 0.0,
+        label: str = "",
+    ):
+        self.deadline_s = deadline_s
+        self.start_s = float(start_s)
+        self.consumed_s = 0.0
+        self.label = label
+        self.cancelled = False
+        self.reason: Optional[str] = None
+        self.site: str = ""
+        self.checks = 0
+
+    # -- clock -------------------------------------------------------------
+
+    @property
+    def now_s(self) -> float:
+        """Simulated position: start plus every charged second."""
+        return self.start_s + self.consumed_s
+
+    @property
+    def remaining_s(self) -> float:
+        """Simulated seconds left before the deadline (inf when none)."""
+        if self.deadline_s is None:
+            return float("inf")
+        return self.deadline_s - self.now_s
+
+    @property
+    def expired(self) -> bool:
+        """True once the charged time has reached the deadline."""
+        return self.deadline_s is not None and self.now_s >= self.deadline_s
+
+    def charge(self, seconds: float) -> None:
+        """Account *seconds* of completed simulated work to this token."""
+        self.consumed_s += seconds
+
+    # -- cancellation ------------------------------------------------------
+
+    def cancel(self, reason: str = "manual") -> None:
+        """Mark the token cancelled; the next :meth:`check` raises."""
+        if not self.cancelled:
+            self.cancelled = True
+            self.reason = reason
+
+    def check(self, site: str = "") -> None:
+        """Raise :class:`~repro.errors.QueryCancelledError` if cancelled
+        or past the deadline; otherwise a no-op.
+
+        *site* names the boundary performing the check and is recorded
+        on the token and the raised error.
+        """
+        self.checks += 1
+        if not self.cancelled and self.expired:
+            self.cancelled = True
+            self.reason = "deadline"
+        if self.cancelled:
+            self.site = self.site or site
+            name = f" {self.label!r}" if self.label else ""
+            raise QueryCancelledError(
+                f"query{name} cancelled ({self.reason}) at {site or 'unknown'}: "
+                f"consumed {self.consumed_s:.6f}s"
+                + (
+                    f" of deadline {self.deadline_s:.6f}s"
+                    if self.deadline_s is not None
+                    else ""
+                ),
+                reason=self.reason or "manual",
+                site=site,
+                deadline_s=self.deadline_s,
+                consumed_s=self.consumed_s,
+            )
+
+    # -- ambient activation ------------------------------------------------
+
+    @contextmanager
+    def activated(self) -> Iterator["CancellationToken"]:
+        """Install as the ambient token for the dynamic extent.
+
+        :class:`~repro.gpusim.context.GPUContext` instances constructed
+        inside the block pick this token up automatically.
+        """
+        _ACTIVE_TOKENS.append(self)
+        try:
+            yield self
+        finally:
+            if _ACTIVE_TOKENS and _ACTIVE_TOKENS[-1] is self:
+                _ACTIVE_TOKENS.pop()
+            elif self in _ACTIVE_TOKENS:  # defensive: unbalanced nesting
+                _ACTIVE_TOKENS.remove(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "live"
+        return (
+            f"CancellationToken({self.label!r}, {state}, "
+            f"consumed={self.consumed_s:.6f}s, deadline={self.deadline_s})"
+        )

@@ -29,6 +29,7 @@ from typing import Iterator, List, Optional, Union
 
 import numpy as np
 
+from ..cancel import current_token
 from ..faults.plan import FAULT_COUNTERS
 from ..gpusim.context import GPUContext
 from ..gpusim.device import A100, DeviceSpec
@@ -146,6 +147,11 @@ class ClusterContext:
         self.spec = spec
         self.seed = seed
         self.trace = trace if trace is not None else current_session()
+        # Cancellation is checked at superstep boundaries only: the
+        # barrier-synchronous clock charges the per-step *maximum* over
+        # devices, so per-kernel charging inside device contexts is
+        # disabled (it would double-count and sum instead of max).
+        self.cancel_token = current_token()
         self.fault_plan = None if fault_plan is None else fault_plan.without_capacity()
         self.faults = (
             None if self.fault_plan is None else self.fault_plan.injector("cluster")
@@ -194,8 +200,14 @@ class ClusterContext:
         Inside the block, run device ``d``'s work on
         ``step.contexts[d]``.  On exit the step's duration becomes the
         maximum of the per-device timelines and the cluster clock
-        advances by it.
+        advances by it.  An ambient cancellation token is charged with
+        the step's barrier time and checked once the step completes —
+        the superstep is the cluster's cooperative cancellation unit
+        (its inputs are checkpointed, so unwinding between steps loses
+        nothing).
         """
+        if self.cancel_token is not None:
+            self.cancel_token.check(f"superstep:{name}")
         step = ClusterStepRecord(name=name, kind="compute", start_s=self._clock)
         for d in range(self.num_devices):
             session = TraceSession(f"{name}@gpu{d}")
@@ -206,6 +218,7 @@ class ClusterContext:
                 trace=session,
                 fault_plan=self.fault_plan,
                 fault_site=f"gpu{d}",
+                cancel_token=None,
             )
             step.sessions.append(session)
             step.contexts.append(ctx)
@@ -233,6 +246,12 @@ class ClusterContext:
                     recovery_s=step.recovery_seconds,
                 ):
                     pass
+        # Reached only when the body did not raise: the superstep
+        # barrier is the cooperative boundary (replays/stragglers
+        # included in step.seconds count against the deadline).
+        if self.cancel_token is not None:
+            self.cancel_token.charge(step.seconds)
+            self.cancel_token.check(f"superstep:{name}")
 
     def _recover_compute(self, step: ClusterStepRecord, name: str) -> List[float]:
         """Per-device effective seconds after replays and stragglers.
@@ -330,6 +349,9 @@ class ClusterContext:
                 pass
             for t in step.transfers:
                 self.trace.count("cluster_shuffle_bytes", t.nbytes)
+        if self.cancel_token is not None:
+            self.cancel_token.charge(step.seconds)
+            self.cancel_token.check(f"superstep:{name}")
         return step
 
     def _recover_shuffle(

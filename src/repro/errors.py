@@ -89,6 +89,42 @@ class GracefulDegradationError(ReproError):
         super().__init__(message)
 
 
+class QueryCancelledError(ReproError):
+    """Raised when a query is cancelled cooperatively.
+
+    Cancellation is *cooperative*: a :class:`~repro.cancel.CancellationToken`
+    is checked at kernel-submission, superstep and operator boundaries,
+    so in-flight work always completes before the query unwinds.
+
+    ``reason`` is a stable machine-readable tag:
+
+    * ``"deadline"`` — the query's simulated deadline passed while it
+      was executing (the token expired mid-run);
+    * ``"deadline-queued"`` — the deadline passed before the query was
+      ever admitted (it was never started);
+    * ``"deadline-stream"`` — the deadline passed while the query's
+      kernels were replaying on the shared stream scheduler;
+    * ``"manual"`` — the token was cancelled explicitly.
+
+    ``site`` names the boundary that observed the cancellation (e.g.
+    ``"kernel:probe"``, ``"superstep:partition"``, ``"operator:Join"``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        reason: str = "manual",
+        site: str = "",
+        deadline_s: Optional[float] = None,
+        consumed_s: float = 0.0,
+    ):
+        self.reason = reason
+        self.site = site
+        self.deadline_s = deadline_s
+        self.consumed_s = consumed_s
+        super().__init__(message)
+
+
 class ServeConfigError(ReproError):
     """Raised when a :class:`~repro.serve.QueryServer` is configured with
     invalid options (stream counts, queue depths, cache budgets)."""
@@ -103,7 +139,14 @@ class AdmissionError(ReproError):
       (backpressure: the client should retry later);
     * ``"oversized"`` — the query's memory reservation exceeds the
       server's total capacity, so it can never be admitted;
-    * ``"closed"`` — the server is not accepting requests.
+    * ``"closed"`` — the server is not accepting requests;
+    * ``"tenant-queue-full"`` — the submitting tenant's own queue-depth
+      quota is saturated (other tenants are unaffected);
+    * ``"retry-budget"`` — the server-wide fault-retry budget is
+      exhausted, so fault-injected queries are turned away until the
+      budget refills;
+    * ``"brownout-shed"`` — the server is in its SHED brownout level
+      and dropped this low-priority query to protect the rest.
     """
 
     def __init__(self, message: str, reason: str = "queue-full"):

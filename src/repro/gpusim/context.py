@@ -13,6 +13,7 @@ from typing import Iterator, Optional
 
 import numpy as np
 
+from ..cancel import current_token
 from ..obs.session import current_session
 from .costmodel import CostModel
 from .device import A100, DeviceSpec
@@ -56,6 +57,15 @@ class GPUContext:
     fault_site:
         Stable site name for the fault-injection stream (defaults to
         ``"gpu"``; the cluster layer passes ``"gpu<d>"`` per device).
+    cancel_token:
+        A :class:`~repro.cancel.CancellationToken` checked at every
+        kernel-submission boundary and charged with each kernel's
+        simulated seconds (retries included).  The default picks up the
+        ambient token installed by
+        :meth:`CancellationToken.activated <repro.cancel.CancellationToken.activated>`
+        if one is active; pass ``None`` explicitly to opt a context out
+        (the cluster layer does — superstep boundaries charge the
+        barrier-synchronous maximum instead of per-device sums).
 
     Submit kernels inside phases; the context accumulates simulated
     time and a per-phase breakdown:
@@ -72,6 +82,9 @@ class GPUContext:
     ['match']
     """
 
+    #: Sentinel: pick up the ambient cancellation token at construction.
+    AMBIENT = object()
+
     def __init__(
         self,
         device: DeviceSpec = A100,
@@ -81,6 +94,7 @@ class GPUContext:
         trace=None,
         fault_plan=None,
         fault_site: str = "gpu",
+        cancel_token=AMBIENT,
     ):
         self.device = device
         capacity = mem_capacity if mem_capacity is not None else device.global_mem_bytes
@@ -95,6 +109,9 @@ class GPUContext:
         self.mem = DeviceMemory(limit, pool=BufferPool())
         self.cost = CostModel(device)
         self.trace = trace if trace is not None else current_session()
+        self.cancel_token = (
+            current_token() if cancel_token is GPUContext.AMBIENT else cancel_token
+        )
         self.timeline = PhaseTimeline(trace=self.trace)
         self.profiler = Profiler(device)
         self.rng = np.random.default_rng(seed)
@@ -111,7 +128,15 @@ class GPUContext:
         attempt lands as usual.  The returned seconds are those of the
         successful attempt only; recovery time is visible on the
         timeline, the trace and the ``fault_*`` counters.
+
+        With a cancellation token attached, the token is checked before
+        the kernel launches and charged with its simulated seconds after
+        it lands; each fault retry re-charges and re-checks the token,
+        so a retry storm cannot run a query past its deadline unchecked.
         """
+        token = self.cancel_token
+        if token is not None:
+            token.check(f"kernel:{stats.name}")
         stats.validate()
         seconds = self.cost.time(stats)
         if self.faults is not None:
@@ -145,11 +170,18 @@ class GPUContext:
                 else:
                     self.timeline.add(retry)
                     self.profiler.record(retry)
+                if token is not None:
+                    # The retry's lost time counts against the deadline,
+                    # and the next attempt re-checks the token.
+                    token.charge(lost)
+                    token.check(f"retry:{stats.name}")
         record = KernelRecord(stats=stats, seconds=seconds, phase=phase or "", extra=extra)
         self.timeline.add(record)
         self.profiler.record(record)
         if self.trace is not None:
             self.trace.record_kernel(record, self.device)
+        if token is not None:
+            token.charge(seconds)
         return seconds
 
     def submit_many(self, stats_list, phase: Optional[str] = None) -> float:
@@ -165,6 +197,10 @@ class GPUContext:
         """
         if self.faults is not None:
             return sum(self.submit(stats, phase=phase) for stats in stats_list)
+        # One cooperative check per batch: the batch is one submission
+        # boundary, mirroring a single multi-kernel graph launch.
+        if self.cancel_token is not None:
+            self.cancel_token.check("kernel-batch")
         records = []
         prev: Optional[KernelStats] = None
         prev_seconds = 0.0
@@ -184,6 +220,8 @@ class GPUContext:
         if self.trace is not None:
             for record in records:
                 self.trace.record_kernel(record, self.device)
+        if self.cancel_token is not None:
+            self.cancel_token.charge(total)
         return total
 
     @contextmanager
@@ -219,5 +257,5 @@ class GPUContext:
         """A fresh context on the same device (new memory/timeline)."""
         return GPUContext(
             device=self.device, seed=seed, trace=self.trace,
-            fault_plan=self.fault_plan,
+            fault_plan=self.fault_plan, cancel_token=self.cancel_token,
         )

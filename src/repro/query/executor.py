@@ -22,6 +22,7 @@ from ..aggregation.planner import (
     make_groupby_algorithm,
     recommend_groupby_algorithm,
 )
+from ..cancel import current_token
 from ..errors import (
     DeviceOutOfMemoryError,
     JoinConfigError,
@@ -96,6 +97,7 @@ class QueryExecutor:
         interconnect="nvlink-mesh",
         fault_plan=None,
         join_output_hook=None,
+        enable_fusion: bool = True,
     ):
         if shards < 1:
             raise JoinConfigError(f"shards must be >= 1, got {shards}")
@@ -124,6 +126,11 @@ class QueryExecutor:
         # that path fires the hook: sharded/faulted runs may permute row
         # order and pushed-down projections change the output schema.
         self.join_output_hook = join_output_hook
+        # ``enable_fusion=False`` runs Aggregate-over-Join unfused even
+        # on one device (bit-identical output, fusion credit forfeited).
+        # The serving layer's brownout controller uses it to shed the
+        # fused pipeline's peak-memory footprint under pressure.
+        self.enable_fusion = enable_fusion
         self._session: Optional[TraceSession] = None
 
     def execute(
@@ -162,6 +169,12 @@ class QueryExecutor:
     # -- node dispatch -------------------------------------------------------
 
     def _run(self, node: PlanNode, trace: List[OperatorTrace], optimize: bool):
+        # Operator boundary: the cooperative cancellation point between
+        # pipeline stages.  Work below this node has been fully charged
+        # to the ambient token by the per-kernel accounting.
+        token = current_token()
+        if token is not None:
+            token.check(f"operator:{node.describe()}")
         if isinstance(node, Scan):
             with self._operator_span(node.describe(), rows=node.relation.num_rows):
                 pass
@@ -181,7 +194,12 @@ class QueryExecutor:
             # Join-aggregate fusion folds during materialization on one
             # device; a sharded aggregate instead re-shuffles the join
             # output on the group column, so fusion does not apply.
-            if optimize and isinstance(node.child, Join) and self.shards == 1:
+            if (
+                optimize
+                and isinstance(node.child, Join)
+                and self.shards == 1
+                and self.enable_fusion
+            ):
                 return self._run_fused_aggregate(node, trace, optimize)
             if optimize and isinstance(node.child, Join) and self.shards > 1:
                 warnings.warn(

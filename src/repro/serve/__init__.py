@@ -12,6 +12,10 @@ The layers below (``gpusim`` -> algorithms -> ``query`` -> ``cluster``
 * :mod:`~repro.serve.driver` — open/closed-loop workload generation
   over Zipf-popular templates, reporting simulated throughput and
   latency percentiles;
+* :mod:`~repro.serve.quota` — per-tenant concurrency/bytes/queue caps
+  and the server-wide fault-retry budget;
+* :mod:`~repro.serve.brownout` — hysteretic overload degradation and
+  low-priority load shedding;
 * :mod:`~repro.serve.trace` — the serving timeline as a multi-track
   Chrome trace.
 
@@ -20,6 +24,15 @@ Every output is bit-identical to a direct
 :func:`repro.query.executor.execute` of the same plan.
 """
 
+from .brownout import (
+    DEGRADED,
+    LEVEL_NAMES,
+    NORMAL,
+    SHED,
+    BrownoutController,
+    BrownoutPolicy,
+    BrownoutTransition,
+)
 from .cache import (
     DependentLRU,
     PinnedPlan,
@@ -30,6 +43,7 @@ from .cache import (
     relation_fingerprint,
 )
 from .driver import DriverReport, QueryTemplate, TemplateStats, WorkloadDriver
+from .quota import RetryBudget, TenantQuota, TenantState
 from .server import (
     QueryOutcome,
     QueryRequest,
@@ -40,8 +54,14 @@ from .streams import QueryCompletion, ScheduledItem, StreamScheduler, WorkItem
 from .trace import serve_chrome_trace, write_serve_trace
 
 __all__ = [
+    "BrownoutController",
+    "BrownoutPolicy",
+    "BrownoutTransition",
+    "DEGRADED",
     "DependentLRU",
     "DriverReport",
+    "LEVEL_NAMES",
+    "NORMAL",
     "PinnedPlan",
     "PlanCache",
     "QueryCompletion",
@@ -50,10 +70,14 @@ __all__ = [
     "QueryServer",
     "QueryTemplate",
     "ResultCache",
+    "RetryBudget",
+    "SHED",
     "ScheduledItem",
     "ServeReport",
     "StreamScheduler",
     "TemplateStats",
+    "TenantQuota",
+    "TenantState",
     "WorkItem",
     "WorkloadDriver",
     "pin_plan",

@@ -1,0 +1,150 @@
+"""Per-tenant quotas and the server-wide fault-retry budget.
+
+Multi-tenant fairness for :class:`~repro.serve.server.QueryServer`:
+
+* :class:`TenantQuota` caps what one tenant may hold at once — in-flight
+  queries, reserved device bytes, and queued requests.  A tenant at its
+  cap is *skipped* during admission (its queue entries stay put) rather
+  than blocking the queue head, so a greedy tenant cannot starve others
+  and others cannot starve it: the moment its usage drops below the cap
+  its queued work is eligible again.
+* :class:`RetryBudget` bounds the total simulated time the server will
+  spend recovering from injected kernel faults.  Fault retries burn
+  device time without producing rows; without a budget a fault-retry
+  storm from one misbehaving workload monopolizes the device.  The
+  budget is a token bucket on the *serving* clock: it starts with
+  ``initial_s`` seconds, refills at ``refill_per_s`` seconds of retry
+  time per simulated second, and every fault-injected query's measured
+  retry time (the ``fault_retry_seconds`` trace counter) is spent
+  against it.  While exhausted, new fault-injected submissions are
+  rejected with :class:`~repro.errors.AdmissionError`
+  (``reason="retry-budget"``); clean queries are unaffected.
+
+Both are plain deterministic state machines on simulated time — no
+wall-clock, no randomness — so serving runs replay bit-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import ServeConfigError
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant admission caps; ``None`` means unlimited.
+
+    Parameters
+    ----------
+    max_concurrent:
+        Maximum queries the tenant may have in flight at once.
+    max_reserved_bytes:
+        Maximum device bytes the tenant's admission reservations may
+        hold at once (the sum of its in-flight ``estimate_bytes``).
+    max_queue_depth:
+        Maximum requests the tenant may have waiting in the admission
+        queue; submissions beyond it are rejected with
+        ``reason="tenant-queue-full"`` without touching other tenants'
+        queue space.
+    """
+
+    max_concurrent: Optional[int] = None
+    max_reserved_bytes: Optional[int] = None
+    max_queue_depth: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_concurrent is not None and self.max_concurrent < 1:
+            raise ServeConfigError(
+                f"max_concurrent must be >= 1, got {self.max_concurrent}"
+            )
+        if self.max_reserved_bytes is not None and self.max_reserved_bytes <= 0:
+            raise ServeConfigError(
+                f"max_reserved_bytes must be positive, got {self.max_reserved_bytes}"
+            )
+        if self.max_queue_depth is not None and self.max_queue_depth < 0:
+            raise ServeConfigError(
+                f"max_queue_depth must be >= 0, got {self.max_queue_depth}"
+            )
+
+
+@dataclass
+class TenantState:
+    """Live accounting for one tenant (created on first submission)."""
+
+    queued: int = 0
+    inflight: int = 0
+    reserved_bytes: int = 0
+    submitted: int = 0
+    completed: int = 0
+    rejected: int = 0
+    cancelled: int = 0
+    failed: int = 0
+    #: Admission passes in which this tenant's queue head was skipped
+    #: because the tenant was at quota (others were admitted past it).
+    quota_deferrals: int = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "queued": self.queued,
+            "inflight": self.inflight,
+            "reserved_bytes": self.reserved_bytes,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "cancelled": self.cancelled,
+            "failed": self.failed,
+            "quota_deferrals": self.quota_deferrals,
+        }
+
+
+@dataclass
+class RetryBudget:
+    """Token bucket of simulated fault-retry seconds on the serving clock.
+
+    ``allowance(t) = initial_s + refill_per_s * t``; the budget is
+    exhausted once the retry seconds *spent* reach the allowance.  Spend
+    is recorded when a fault-injected query's correctness half runs (the
+    session's ``fault_retry_seconds`` counter), so enforcement is
+    deterministic in admission order.
+
+    >>> budget = RetryBudget(initial_s=1.0, refill_per_s=0.5)
+    >>> budget.exhausted(0.0)
+    False
+    >>> budget.spend(1.2)
+    >>> budget.exhausted(0.0)          # 1.2 spent > 1.0 allowance
+    True
+    >>> budget.exhausted(1.0)          # refilled: allowance 1.5 > 1.2
+    False
+    """
+
+    initial_s: float = 0.0
+    refill_per_s: float = 0.0
+    spent_s: float = field(default=0.0, init=False)
+    rejections: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.initial_s < 0:
+            raise ServeConfigError(f"initial_s must be >= 0, got {self.initial_s}")
+        if self.refill_per_s < 0:
+            raise ServeConfigError(
+                f"refill_per_s must be >= 0, got {self.refill_per_s}"
+            )
+
+    def allowance_s(self, clock_s: float) -> float:
+        """Total retry seconds granted by serving time *clock_s*."""
+        return self.initial_s + self.refill_per_s * clock_s
+
+    def remaining_s(self, clock_s: float) -> float:
+        """Unspent retry seconds at *clock_s* (clamped at zero)."""
+        return max(0.0, self.allowance_s(clock_s) - self.spent_s)
+
+    def exhausted(self, clock_s: float) -> bool:
+        """True while spent retry time has caught up with the allowance."""
+        return self.spent_s >= self.allowance_s(clock_s)
+
+    def spend(self, seconds: float) -> None:
+        """Charge *seconds* of measured fault-retry time to the budget."""
+        if seconds > 0:
+            self.spent_s += seconds

@@ -31,17 +31,43 @@ registered relation invalidates every dependent entry, so a stale read
 is impossible by construction.  Fault-injected queries bypass both
 caches (degraded recovery may permute row order) but still complete —
 faults degrade the one query, never the server.
+
+The reliability layer on top (this PR's subject):
+
+* **Deadlines** — a per-query simulated deadline propagates as a
+  :class:`~repro.cancel.CancellationToken` through the correctness half
+  (checked at kernel/superstep/operator boundaries) and as a
+  stream-scheduler deadline through the timing half.  Expiry anywhere
+  produces a typed ``"cancelled"`` outcome and frees every reservation.
+* **Tenant quotas** — :class:`~repro.serve.quota.TenantQuota` caps one
+  tenant's concurrency, reserved bytes and queue depth; capped tenants
+  are skipped at admission, not allowed to block others.
+* **Retry budget** — :class:`~repro.serve.quota.RetryBudget` bounds the
+  simulated time spent recovering injected faults server-wide.
+* **Brownout** — a hysteretic
+  :class:`~repro.serve.brownout.BrownoutController` degrades service
+  under pressure (fusion off, cache population suspended) and sheds
+  low-priority queued work at the highest level.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..errors import AdmissionError, DeviceOutOfMemoryError, ServeConfigError
+from ..cancel import CancellationToken
+from ..errors import (
+    AdmissionError,
+    DeviceOutOfMemoryError,
+    GracefulDegradationError,
+    QueryCancelledError,
+    ReproError,
+    ServeConfigError,
+)
 from ..gpusim.device import A100, DeviceSpec
 from ..gpusim.memory import DeviceMemory, MemoryReservation
 from ..joins.base import JoinConfig
@@ -50,6 +76,7 @@ from ..obs.session import TraceSession
 from ..query.executor import QueryExecutor
 from ..query.plan import Join, PlanNode, QueryResult, Scan, validate_plan
 from ..relational.relation import Relation
+from .brownout import LEVEL_NAMES, BrownoutController, BrownoutPolicy
 from .cache import (
     PinnedPlan,
     PlanCache,
@@ -59,6 +86,7 @@ from .cache import (
     plan_relations,
     plan_signature,
 )
+from .quota import RetryBudget, TenantQuota, TenantState
 from .streams import QueryCompletion, StreamScheduler, WorkItem
 
 #: Fallback simulated seconds for one result-cache hit when the device
@@ -82,15 +110,33 @@ class QueryRequest:
     optimize: bool = True
     fault_plan: Optional[object] = None
     tag: str = ""
+    #: Absolute simulated deadline (serving clock), or None.
+    deadline_s: Optional[float] = None
+    tenant: str = "default"
 
 
 @dataclass
 class QueryOutcome:
-    """The server's record of one finished (or rejected) query."""
+    """The server's record of one finished (or rejected) query.
+
+    ``status`` is one of:
+
+    * ``"completed"`` — output is bit-identical to a direct
+      ``execute()`` (``deadline_missed`` may still be set if it
+      finished late);
+    * ``"rejected"`` — turned away at admission; ``error`` is a typed
+      :class:`~repro.errors.AdmissionError`;
+    * ``"cancelled"`` — cooperatively cancelled (deadline while queued,
+      executing, or replaying on a stream); ``error`` is a typed
+      :class:`~repro.errors.QueryCancelledError`;
+    * ``"failed"`` — a typed runtime failure (e.g. every degradation
+      level of a fault-recovery ladder exceeded memory); the server
+      survives, the query carries the error.
+    """
 
     query_id: int
     tag: str
-    status: str  #: "completed" | "rejected"
+    status: str  #: "completed" | "rejected" | "cancelled" | "failed"
     arrival_s: float
     output: object = None
     result: Optional[QueryResult] = None
@@ -103,7 +149,14 @@ class QueryOutcome:
     result_cache_hit: bool = False
     subresult_hits: int = 0
     degraded: bool = False
-    error: Optional[AdmissionError] = None
+    error: Optional[ReproError] = None
+    tenant: str = "default"
+    deadline_s: Optional[float] = None
+    #: Completed, but past its deadline (contention stretched it).
+    deadline_missed: bool = False
+    #: Served while the brownout controller was degraded (fusion off,
+    #: cache population suspended); the output is still bit-identical.
+    brownout_degraded: bool = False
 
     @property
     def queue_wait_s(self) -> float:
@@ -131,6 +184,22 @@ def _percentile(values: Sequence[float], q: float) -> float:
     return float(np.percentile(np.asarray(values, dtype=np.float64), q))
 
 
+def _bit_identical(a, b) -> bool:
+    """Exact (ordered, byte-for-byte) equality of two query outputs."""
+    if isinstance(a, Relation) and isinstance(b, Relation):
+        cols_a, cols_b = a.columns(), b.columns()
+        if list(cols_a) != list(cols_b):
+            return False
+        return all(np.array_equal(cols_a[n], cols_b[n]) for n in cols_a)
+    if isinstance(a, dict) and isinstance(b, dict):
+        if list(a) != list(b):
+            return False
+        return all(
+            np.array_equal(np.asarray(a[k]), np.asarray(b[k])) for k in a
+        )
+    return type(a) is type(b) and bool(a == b)
+
+
 @dataclass
 class ServeReport:
     """Aggregate serving statistics over one server run."""
@@ -138,6 +207,8 @@ class ServeReport:
     submitted: int
     completed: int
     rejected: int
+    cancelled: int
+    failed: int
     makespan_s: float
     throughput_qps: float
     latency_p50_s: float
@@ -152,7 +223,8 @@ class ServeReport:
     def render(self) -> str:
         lines = [
             f"queries: {self.submitted} submitted, {self.completed} "
-            f"completed, {self.rejected} rejected",
+            f"completed, {self.rejected} rejected, "
+            f"{self.cancelled} cancelled, {self.failed} failed",
             f"makespan: {self.makespan_s * 1e3:.3f} ms simulated "
             f"(serial solo time {self.solo_seconds_total * 1e3:.3f} ms)",
             f"throughput: {self.throughput_qps:.1f} queries/s simulated",
@@ -181,6 +253,14 @@ class _InFlight:
     result_cache_hit: bool
     subresult_hits: int
     degraded: bool
+    #: Typed error from the correctness half (cancellation or runtime
+    #: failure); the partial kernels still occupy a stream while they
+    #: drain, and the outcome carries this error.
+    error: Optional[ReproError] = None
+    #: Simulated seconds this query spent in fault-retry recovery
+    #: (spent against the server's RetryBudget).
+    retry_seconds: float = 0.0
+    brownout_degraded: bool = False
 
 
 class QueryServer:
@@ -204,6 +284,28 @@ class QueryServer:
         Optional :class:`~repro.obs.session.TraceSession`: the server
         mirrors its counters into it and opens one ``serve`` span per
         finished query (args carry the serving-clock interval).
+    tenants:
+        Optional ``{tenant: TenantQuota}`` map; tenants not in the map
+        (including the implicit ``"default"``) are unlimited.  Quotas
+        can also be set later via :meth:`set_quota`.
+    retry_budget:
+        Server-wide :class:`~repro.serve.quota.RetryBudget` for
+        fault-retry recovery time (a float is shorthand for
+        ``RetryBudget(initial_s=value)``).  ``None`` disables the cap.
+    brownout:
+        Overload response: ``True`` for a default
+        :class:`~repro.serve.brownout.BrownoutController`, a
+        :class:`~repro.serve.brownout.BrownoutPolicy` or controller for
+        custom thresholds, ``None`` (default) to disable.
+    default_deadline_s:
+        Relative deadline (simulated seconds after arrival) applied to
+        submissions that do not pass their own; ``None`` means no
+        implicit deadline.
+    verify_cache_inserts:
+        Debug oracle: before populating the result cache, re-execute
+        the plan on a clean executor and assert the output is
+        bit-identical (the cache-poisoning guard).  Defaults to the
+        ``REPRO_SERVE_VERIFY_CACHE`` environment variable.
 
     >>> import numpy as np
     >>> from repro.query.plan import Scan, Join
@@ -240,6 +342,11 @@ class QueryServer:
         enable_result_cache: bool = True,
         cache_hit_cost_s: Optional[float] = None,
         session: Optional[TraceSession] = None,
+        tenants: Optional[Dict[str, TenantQuota]] = None,
+        retry_budget=None,
+        brownout=None,
+        default_deadline_s: Optional[float] = None,
+        verify_cache_inserts: Optional[bool] = None,
     ):
         if queue_depth < 0:
             raise ServeConfigError(f"queue_depth must be >= 0, got {queue_depth}")
@@ -270,6 +377,26 @@ class QueryServer:
         self.enable_result_cache = enable_result_cache
         self.metrics = MetricsRegistry()
         self.session = session
+        self.quotas: Dict[str, TenantQuota] = dict(tenants or {})
+        self.tenants: Dict[str, TenantState] = {}
+        if isinstance(retry_budget, (int, float)):
+            retry_budget = RetryBudget(initial_s=float(retry_budget))
+        self.retry_budget: Optional[RetryBudget] = retry_budget
+        if brownout is True:
+            brownout = BrownoutController()
+        elif isinstance(brownout, BrownoutPolicy):
+            brownout = BrownoutController(brownout)
+        self.brownout: Optional[BrownoutController] = brownout or None
+        if default_deadline_s is not None and default_deadline_s <= 0:
+            raise ServeConfigError(
+                f"default_deadline_s must be positive, got {default_deadline_s}"
+            )
+        self.default_deadline_s = default_deadline_s
+        if verify_cache_inserts is None:
+            verify_cache_inserts = bool(
+                os.environ.get("REPRO_SERVE_VERIFY_CACHE", "")
+            )
+        self.verify_cache_inserts = verify_cache_inserts
         self.outcomes: List[QueryOutcome] = []
         self._catalog: Dict[str, Relation] = {}
         self._names_by_id: Dict[int, str] = {}
@@ -307,6 +434,10 @@ class QueryServer:
             raise ServeConfigError(f"relation {name!r} is not registered")
         old = self._catalog[name]
         self._names_by_id.pop(id(old), None)
+        # Drop the fingerprint memo too: it holds a strong reference to
+        # the replaced relation, which would pin every superseded
+        # version in host memory across a long update-heavy run.
+        self._fp_memo.pop(id(old), None)
         self._catalog[name] = relation
         self._names_by_id[id(relation)] = name
         self._fingerprint(relation)
@@ -329,6 +460,39 @@ class QueryServer:
         fingerprint = relation_fingerprint(relation)
         self._fp_memo[id(relation)] = (relation, fingerprint)
         return fingerprint
+
+    # -- tenants -----------------------------------------------------------
+
+    def set_quota(self, tenant: str, quota: Optional[TenantQuota]) -> None:
+        """Install (or clear, with ``None``) a quota for *tenant*."""
+        if quota is None:
+            self.quotas.pop(tenant, None)
+        else:
+            self.quotas[tenant] = quota
+
+    def _tenant_state(self, tenant: str) -> TenantState:
+        state = self.tenants.get(tenant)
+        if state is None:
+            state = self.tenants[tenant] = TenantState()
+        return state
+
+    def _tenant_capped(self, request: QueryRequest, estimate: int) -> bool:
+        """True when admitting *request* now would exceed its tenant's quota."""
+        quota = self.quotas.get(request.tenant)
+        if quota is None:
+            return False
+        state = self._tenant_state(request.tenant)
+        if (
+            quota.max_concurrent is not None
+            and state.inflight >= quota.max_concurrent
+        ):
+            return True
+        if (
+            quota.max_reserved_bytes is not None
+            and state.reserved_bytes + estimate > quota.max_reserved_bytes
+        ):
+            return True
+        return False
 
     def _plan_deps(self, plan: PlanNode) -> List[str]:
         """Registered names the plan reads (for invalidation tracking)."""
@@ -371,15 +535,24 @@ class QueryServer:
         optimize: bool = True,
         fault_plan=None,
         tag: str = "",
+        deadline_s: Optional[float] = None,
+        tenant: str = "default",
     ) -> int:
         """Enqueue a query arriving at ``at_s`` (default: now).
+
+        ``deadline_s`` is *relative*: the query's absolute deadline is
+        ``arrival + deadline_s`` on the serving clock (falling back to
+        the server's ``default_deadline_s``).  Expiry while queued,
+        executing, or replaying on a stream yields a typed
+        ``"cancelled"`` outcome.  ``tenant`` attributes the query for
+        quota accounting.
 
         Raises :class:`~repro.errors.AdmissionError` immediately for
         queries that can never run (``reason="oversized"``: the footprint
         estimate exceeds device capacity even on an idle server) or when
         the server is :meth:`close`-d (``reason="closed"``).  Queue
-        overflow is decided at arrival time and surfaces as a rejected
-        :class:`QueryOutcome` carrying the error.
+        overflow, quota and budget decisions happen at arrival time and
+        surface as rejected :class:`QueryOutcome`\\ s carrying the error.
         """
         if self._closed:
             raise AdmissionError("server is closed", reason="closed")
@@ -388,6 +561,12 @@ class QueryServer:
         if arrival < self.clock_s:
             raise ServeConfigError(
                 f"arrival {arrival} precedes the serving clock {self.clock_s}"
+            )
+        if deadline_s is None:
+            deadline_s = self.default_deadline_s
+        if deadline_s is not None and deadline_s <= 0:
+            raise ServeConfigError(
+                f"deadline_s must be positive, got {deadline_s}"
             )
         estimate = self.estimate_bytes(plan)
         capacity = self.memory.capacity_bytes
@@ -406,15 +585,36 @@ class QueryServer:
             optimize=optimize,
             fault_plan=fault_plan,
             tag=tag,
+            deadline_s=None if deadline_s is None else arrival + deadline_s,
+            tenant=tenant,
         )
         self._next_id += 1
+        self._tenant_state(tenant).submitted += 1
         heapq.heappush(self._arrivals, (arrival, request.query_id, request))
         self._count("serve.submitted")
         return request.query_id
 
-    def close(self) -> None:
-        """Stop accepting submissions (already-queued work still runs)."""
+    def close(self, cancel_queued: bool = False) -> None:
+        """Stop accepting submissions.
+
+        By default already-submitted work (queued and future arrivals)
+        still runs.  With ``cancel_queued=True``, pending arrivals and
+        queued requests are cancelled immediately with typed
+        ``"cancelled"`` outcomes (``reason="server-closed"``); in-flight
+        queries always drain — their reservations are freed at
+        completion either way.
+        """
         self._closed = True
+        if not cancel_queued:
+            return
+        pending = [request for _, _, request in self._arrivals]
+        self._arrivals.clear()
+        queued = [entry[3] for entry in sorted(self._queue)]
+        self._queue.clear()
+        for request in queued:
+            self._tenant_state(request.tenant).queued -= 1
+        for request in queued + pending:
+            self._cancel_unstarted(request, "server-closed")
 
     # -- the event loop ----------------------------------------------------
 
@@ -439,6 +639,7 @@ class QueryServer:
             completion = self.scheduler.advance_to(horizon)
             if completion is not None:
                 self._complete(completion)
+                self._brownout_tick()
                 self._admit_from_queue()
                 continue
             # The clock reached the horizon without a query finishing.
@@ -447,6 +648,7 @@ class QueryServer:
             while self._arrivals and self._arrivals[0][0] <= self.clock_s:
                 _, _, request = heapq.heappop(self._arrivals)
                 self._arrive(request)
+            self._brownout_tick()
             self._admit_from_queue()
         return self.outcomes
 
@@ -457,16 +659,20 @@ class QueryServer:
         optimize: bool = True,
         fault_plan=None,
         tag: str = "",
+        deadline_s: Optional[float] = None,
+        tenant: str = "default",
     ) -> QueryOutcome:
         """Submit one query now, serve until it finishes, return its outcome.
 
-        Raises the outcome's :class:`~repro.errors.AdmissionError` if the
-        query was rejected, so interactive callers see backpressure as an
-        exception rather than a status field.
+        Raises the outcome's typed error if the query did not complete
+        (rejected, cancelled, or failed), so interactive callers see
+        backpressure and deadline expiry as exceptions rather than a
+        status field.
         """
         query_id = self.submit(
             plan, priority=priority, optimize=optimize,
             fault_plan=fault_plan, tag=tag,
+            deadline_s=deadline_s, tenant=tenant,
         )
         self.run()
         outcome = next(o for o in self.outcomes if o.query_id == query_id)
@@ -478,12 +684,16 @@ class QueryServer:
         """Aggregate statistics over everything served so far."""
         done = [o for o in self.outcomes if o.status == "completed"]
         rejected = [o for o in self.outcomes if o.status == "rejected"]
+        cancelled = [o for o in self.outcomes if o.status == "cancelled"]
+        failed = [o for o in self.outcomes if o.status == "failed"]
         latencies = [o.latency_s for o in done]
         makespan = max((o.finish_s for o in done), default=0.0)
         return ServeReport(
-            submitted=len(done) + len(rejected),
+            submitted=len(self.outcomes),
             completed=len(done),
             rejected=len(rejected),
+            cancelled=len(cancelled),
+            failed=len(failed),
             makespan_s=makespan,
             throughput_qps=len(done) / makespan if makespan > 0 else 0.0,
             latency_p50_s=_percentile(latencies, 50),
@@ -503,6 +713,36 @@ class QueryServer:
     # -- admission ---------------------------------------------------------
 
     def _arrive(self, request: QueryRequest) -> None:
+        if request.deadline_s is not None and self.clock_s >= request.deadline_s:
+            # Dead on arrival (e.g. the run() horizon only reached it
+            # past its deadline): never queue it.
+            self._cancel_unstarted(request, "deadline-queued")
+            return
+        if (
+            self.brownout is not None
+            and self.brownout.shedding
+            and request.priority <= self.brownout.policy.shed_priority_max
+        ):
+            self._reject(request, "brownout-shed")
+            return
+        if (
+            self.retry_budget is not None
+            and request.fault_plan is not None
+            and getattr(request.fault_plan, "injects_anything", True)
+            and self.retry_budget.exhausted(self.clock_s)
+        ):
+            self.retry_budget.rejections += 1
+            self._reject(request, "retry-budget")
+            return
+        quota = self.quotas.get(request.tenant)
+        state = self._tenant_state(request.tenant)
+        if (
+            quota is not None
+            and quota.max_queue_depth is not None
+            and state.queued >= quota.max_queue_depth
+        ):
+            self._reject(request, "tenant-queue-full")
+            return
         if len(self._queue) >= self.queue_depth + self._admissible_now():
             # The queue bound covers *waiting* queries; anything the
             # streams can absorb immediately never occupies a slot.
@@ -512,6 +752,7 @@ class QueryServer:
             self._queue,
             (-request.priority, request.arrival_s, request.query_id, request),
         )
+        state.queued += 1
         self._gauge("serve.queue_depth_peak", len(self._queue))
 
     def _admissible_now(self) -> int:
@@ -525,6 +766,7 @@ class QueryServer:
             reason=reason,
         )
         self._count(f"serve.rejected_{reason.replace('-', '_')}")
+        self._tenant_state(request.tenant).rejected += 1
         self.outcomes.append(
             QueryOutcome(
                 query_id=request.query_id,
@@ -533,36 +775,175 @@ class QueryServer:
                 arrival_s=request.arrival_s,
                 finish_s=self.clock_s,
                 error=error,
+                tenant=request.tenant,
+                deadline_s=request.deadline_s,
             )
         )
 
+    def _cancel_unstarted(self, request: QueryRequest, reason: str) -> None:
+        """Record a cancelled outcome for a query that never started.
+
+        Covers deadlines expiring while queued and server close with
+        ``cancel_queued=True``; no reservation was ever taken, so there
+        is nothing to free.
+        """
+        error = QueryCancelledError(
+            f"query {request.query_id} cancelled before admission ({reason})",
+            reason=reason,
+            site="queue",
+            deadline_s=request.deadline_s,
+        )
+        self._count("serve.cancelled_queued")
+        self._tenant_state(request.tenant).cancelled += 1
+        self.outcomes.append(
+            QueryOutcome(
+                query_id=request.query_id,
+                tag=request.tag,
+                status="cancelled",
+                arrival_s=request.arrival_s,
+                finish_s=self.clock_s,
+                error=error,
+                tenant=request.tenant,
+                deadline_s=request.deadline_s,
+            )
+        )
+
+    def _drop_queue_entries(self, entries) -> None:
+        for entry in entries:
+            self._queue.remove(entry)
+            self._tenant_state(entry[3].tenant).queued -= 1
+        heapq.heapify(self._queue)
+
+    def _sweep_expired_queued(self) -> None:
+        """Cancel queued queries whose deadline has already passed.
+
+        They are never started: starting doomed work would only steal
+        streams and memory from queries that can still make it.
+        """
+        expired = [
+            entry
+            for entry in self._queue
+            if entry[3].deadline_s is not None
+            and self.clock_s >= entry[3].deadline_s
+        ]
+        if not expired:
+            return
+        self._drop_queue_entries(expired)
+        for entry in sorted(expired):
+            self._cancel_unstarted(entry[3], "deadline-queued")
+
     def _admit_from_queue(self) -> None:
-        """Admit queued queries in priority order until one blocks (HOL)."""
+        """Admit queued queries in priority order until service blocks.
+
+        Two deliberately different blocking behaviours:
+
+        * a *memory*-blocked candidate stops admission entirely (no
+          lower-priority query may jump the reservation queue — that
+          would starve large queries forever);
+        * a *quota*-capped tenant's candidates are skipped (its own
+          order preserved) so one tenant at its cap cannot block the
+          rest of the queue.
+        """
+        self._sweep_expired_queued()
         while self._queue and self.scheduler.free_streams() > 0:
-            _, _, _, request = self._queue[0]
-            try:
-                reservation = self.memory.reserve(
-                    self.estimate_bytes(request.plan),
-                    label=f"query-{request.query_id}",
-                )
-            except DeviceOutOfMemoryError:
-                if not self.scheduler.busy:
-                    # Nothing holds memory yet the head still cannot fit:
-                    # unservable under the current catalog, so reject
-                    # rather than deadlock the queue.
-                    heapq.heappop(self._queue)
-                    self._reject(request, "oversized")
+            admitted = False
+            for entry in sorted(self._queue):
+                request = entry[3]
+                estimate = self.estimate_bytes(request.plan)
+                if self._tenant_capped(request, estimate):
+                    self._tenant_state(request.tenant).quota_deferrals += 1
+                    self._count("serve.quota_deferrals")
                     continue
-                break  # blocked behind running queries' reservations
-            heapq.heappop(self._queue)
-            self._start(request, reservation)
+                try:
+                    reservation = self.memory.reserve(
+                        estimate, label=f"query-{request.query_id}"
+                    )
+                except DeviceOutOfMemoryError:
+                    if not self.scheduler.busy:
+                        # Nothing holds memory yet the head still cannot
+                        # fit: unservable under the current catalog, so
+                        # reject rather than deadlock the queue.
+                        self._drop_queue_entries([entry])
+                        self._reject(request, "oversized")
+                        admitted = True  # re-scan: the queue changed
+                        break
+                    return  # blocked behind running queries' reservations
+                self._drop_queue_entries([entry])
+                self._start(request, reservation)
+                admitted = True
+                break
+            if not admitted:
+                return  # every candidate is quota-capped
+
+    # -- brownout ----------------------------------------------------------
+
+    def _brownout_tick(self) -> None:
+        """Feed the controller the current pressure; shed when at SHED."""
+        ctl = self.brownout
+        if ctl is None:
+            return
+        queue_frac = (
+            len(self._queue) / self.queue_depth
+            if self.queue_depth > 0
+            else (1.0 if self._queue else 0.0)
+        )
+        occupancy = self.scheduler.active_count / self.scheduler.num_streams
+        capacity = self.memory.capacity_bytes
+        memory_frac = (
+            self.memory.current_bytes / capacity if capacity else 0.0
+        )
+        before = ctl.level
+        level = ctl.update(self.clock_s, queue_frac, occupancy, memory_frac)
+        if level != before:
+            self._count("serve.brownout_transitions")
+            self._count(f"serve.brownout_to_{LEVEL_NAMES[level]}")
+            if self.session is not None:
+                with self.session.span(
+                    f"brownout:{LEVEL_NAMES[before]}->{LEVEL_NAMES[level]}",
+                    category="brownout",
+                    clock_s=self.clock_s,
+                    pressure=ctl.pressure,
+                ):
+                    pass
+        self._gauge("serve.brownout_level_peak", level)
+        if ctl.shedding and self._queue:
+            self._shed_queued(ctl.policy.shed_fraction)
+
+    def _shed_queued(self, fraction: float) -> None:
+        """Drop the lowest-priority, newest queued requests."""
+        count = max(1, int(len(self._queue) * fraction))
+        victims = sorted(
+            self._queue, key=lambda e: (-e[0], -e[1], -e[2])
+        )[:count]
+        self._drop_queue_entries(victims)
+        for entry in victims:
+            self._count("serve.brownout_shed_queued")
+            self._reject(entry[3], "brownout-shed")
 
     # -- execution ---------------------------------------------------------
 
     def _start(self, request: QueryRequest, reservation: MemoryReservation) -> None:
-        flight = self._execute(request, reservation)
+        try:
+            flight = self._execute(request, reservation)
+        except BaseException:
+            # The correctness half raised something _execute does not
+            # convert to an outcome (a config bug, a failed verify
+            # assertion): never leak the admission reservation.
+            reservation.free()
+            raise
+        if flight.retry_seconds > 0 and self.retry_budget is not None:
+            self.retry_budget.spend(flight.retry_seconds)
+            self._count("serve.retry_budget_spent_s", flight.retry_seconds)
         items = self._work_items(flight)
-        stream = self.scheduler.start(request.query_id, items, at_s=self.clock_s)
+        # A query already cancelled or failed in the correctness half
+        # only drains its partial kernels — no further deadline monitoring.
+        deadline = request.deadline_s if flight.error is None else None
+        stream = self.scheduler.start(
+            request.query_id, items, at_s=self.clock_s, deadline_s=deadline
+        )
+        state = self._tenant_state(request.tenant)
+        state.inflight += 1
+        state.reserved_bytes += reservation.nbytes
         self._inflight[request.query_id] = flight
         self._count("serve.admitted")
         self._gauge("serve.concurrency_peak", self.scheduler.active_count)
@@ -575,20 +956,32 @@ class QueryServer:
         """Run the query's correctness half; timing replays later.
 
         Cache population happens here (admission order), which is
-        deterministic for a fixed submission schedule.
+        deterministic for a fixed submission schedule.  With a deadline,
+        a :class:`~repro.cancel.CancellationToken` is active for the
+        whole half — kernel, superstep and operator boundaries check it
+        — and expiry converts to a ``"cancelled"`` in-flight record
+        whose partial kernels still drain on a stream.  Typed runtime
+        failures (recovery ladder exhausted, simulated OOM) likewise
+        become ``"failed"`` records instead of crashing the server.
         """
         fault_plan = request.fault_plan
         injects = fault_plan is not None and getattr(
             fault_plan, "injects_anything", True
         )
+        degrade = self.brownout is not None and self.brownout.degraded
         # Degraded recovery and sharded shuffles may permute row order;
         # caching those outputs would break bit-identity with execute().
-        cacheable = not injects and self.shards == 1
+        lookup_ok = not injects and self.shards == 1
+        # Brownout suspends cache *population* only (hits still serve):
+        # pinning and verification are optional work the server stops
+        # paying under pressure, and an unfused trace must never be
+        # pinned as if it were the fused shape.
+        populate_ok = lookup_ok and not degrade
         cache_key = ("opt" if request.optimize else "raw",
                      plan_signature(request.plan, self._fingerprint))
         deps = self._plan_deps(request.plan)
 
-        if cacheable and self.enable_result_cache:
+        if lookup_ok and self.enable_result_cache:
             entry = self.result_cache.get(cache_key)
             if entry is not None:
                 self._count("serve.result_cache_hits")
@@ -603,12 +996,13 @@ class QueryServer:
                     result_cache_hit=True,
                     subresult_hits=0,
                     degraded=False,
+                    brownout_degraded=degrade,
                 )
             self._count("serve.result_cache_misses")
 
         plan = request.plan
         plan_cache_hit = False
-        if cacheable and self.enable_plan_cache:
+        if lookup_ok and self.enable_plan_cache:
             pinned = self.plan_cache.get(cache_key)
             if pinned is not None:
                 plan = pinned.value.plan
@@ -618,7 +1012,7 @@ class QueryServer:
                 self._count("serve.plan_cache_misses")
 
         subresult_hits = 0
-        if cacheable and self.enable_result_cache:
+        if lookup_ok and self.enable_result_cache:
             plan, subresult_hits = self._substitute_subresults(
                 plan, request.optimize
             )
@@ -633,16 +1027,44 @@ class QueryServer:
             shards=self.shards,
             interconnect=self.interconnect,
             fault_plan=fault_plan,
+            enable_fusion=not degrade,
             join_output_hook=(
                 (lambda node, rel: captured.append((node, rel)))
-                if cacheable and self.enable_result_cache
+                if populate_ok and self.enable_result_cache
                 else None
             ),
         )
         session = TraceSession(f"serve-q{request.query_id}")
-        result = executor.execute(plan, optimize=request.optimize, trace=session)
+        error: Optional[ReproError] = None
+        token = None
+        if request.deadline_s is not None:
+            token = CancellationToken(
+                deadline_s=request.deadline_s,
+                start_s=self.clock_s,
+                label=f"q{request.query_id}",
+            )
+        try:
+            if token is not None:
+                with token.activated():
+                    result = executor.execute(
+                        plan, optimize=request.optimize, trace=session
+                    )
+            else:
+                result = executor.execute(
+                    plan, optimize=request.optimize, trace=session
+                )
+        except QueryCancelledError as err:
+            # Cooperative unwind: every kernel charged so far stays on
+            # the session and will occupy a stream while it drains.
+            error = err
+            result = QueryResult(output=None, trace=[], session=session)
+            self._count("serve.cancelled_executing")
+        except (GracefulDegradationError, DeviceOutOfMemoryError) as err:
+            error = err
+            result = QueryResult(output=None, trace=[], session=session)
+            self._count("serve.failed_executing")
 
-        if cacheable:
+        if populate_ok and error is None:
             if (
                 self.enable_plan_cache
                 and not plan_cache_hit
@@ -663,6 +1085,7 @@ class QueryServer:
                     deps=deps,
                 )
             if self.enable_result_cache:
+                self._check_cache_insert(request, result.output)
                 self.result_cache.put(
                     cache_key,
                     result.output,
@@ -689,11 +1112,39 @@ class QueryServer:
             plan_cache_hit=plan_cache_hit,
             result_cache_hit=False,
             subresult_hits=subresult_hits,
-            degraded=any(
+            degraded=error is None
+            and any(
                 "degraded" in op.extras or "OOC[" in op.algorithm
                 for op in result.trace
             ),
+            error=error,
+            retry_seconds=session.metrics.value("fault_retry_seconds"),
+            brownout_degraded=degrade,
         )
+
+    def _check_cache_insert(self, request: QueryRequest, output) -> None:
+        """Debug oracle against cache poisoning: assert the output about
+        to be cached is bit-identical to a clean, fault-free execute().
+
+        Off by default (it re-executes the plan); enabled via the
+        ``verify_cache_inserts`` knob or ``REPRO_SERVE_VERIFY_CACHE``.
+        """
+        if not self.verify_cache_inserts:
+            return
+        reference = QueryExecutor(
+            device=self.device,
+            config=self.config,
+            seed=self.seed,
+            shards=self.shards,
+            interconnect=self.interconnect,
+        ).execute(request.plan, optimize=request.optimize)
+        if not _bit_identical(output, reference.output):
+            raise AssertionError(
+                f"cache poisoning guard: query {request.query_id} output "
+                f"differs from a clean execute(); refusing to populate "
+                f"the result cache"
+            )
+        self._count("serve.cache_inserts_verified")
 
     def _substitute_subresults(
         self, plan: PlanNode, optimize: bool
@@ -756,32 +1207,87 @@ class QueryServer:
 
     def _complete(self, completion: QueryCompletion) -> None:
         flight = self._inflight.pop(completion.query_id)
+        request = flight.request
+        reserved = flight.reservation.nbytes
         flight.reservation.free()
+        state = self._tenant_state(request.tenant)
+        state.inflight -= 1
+        state.reserved_bytes -= reserved
+
+        error: Optional[ReproError] = flight.error
+        if completion.cancelled:
+            # The scheduler released the stream at a kernel boundary
+            # past the deadline (contention stretched the query).
+            error = QueryCancelledError(
+                f"query {completion.query_id} cancelled on stream "
+                f"{completion.stream}: deadline "
+                f"{request.deadline_s:.6f}s passed at "
+                f"{completion.finish_s:.6f}s",
+                reason="deadline-stream",
+                site=f"stream:{completion.stream}",
+                deadline_s=request.deadline_s,
+                consumed_s=completion.finish_s - completion.start_s,
+            )
+        if isinstance(error, QueryCancelledError):
+            status = "cancelled"
+        elif error is not None:
+            status = "failed"
+        else:
+            status = "completed"
+        deadline_missed = (
+            status == "completed"
+            and request.deadline_s is not None
+            and completion.finish_s > request.deadline_s
+        )
+
         outcome = QueryOutcome(
             query_id=completion.query_id,
-            tag=flight.request.tag,
-            status="completed",
-            arrival_s=flight.request.arrival_s,
-            output=flight.result.output,
-            result=flight.result,
+            tag=request.tag,
+            status=status,
+            arrival_s=request.arrival_s,
+            output=flight.result.output if status == "completed" else None,
+            result=flight.result if status == "completed" else None,
             admitted_s=flight.admitted_s,
             finish_s=completion.finish_s,
             stream=completion.stream,
-            solo_seconds=flight.solo_seconds,
-            reserved_bytes=flight.reservation.nbytes,
+            solo_seconds=(
+                completion.solo_seconds  # only the kernels that ran
+                if completion.cancelled
+                else flight.solo_seconds
+            ),
+            reserved_bytes=reserved,
             plan_cache_hit=flight.plan_cache_hit,
             result_cache_hit=flight.result_cache_hit,
             subresult_hits=flight.subresult_hits,
             degraded=flight.degraded,
+            error=error,
+            tenant=request.tenant,
+            deadline_s=request.deadline_s,
+            deadline_missed=deadline_missed,
+            brownout_degraded=flight.brownout_degraded,
         )
         self.outcomes.append(outcome)
-        self._count("serve.completed")
+        if status == "completed":
+            self._count("serve.completed")
+            state.completed += 1
+            if deadline_missed:
+                self._count("serve.deadline_missed")
+        elif status == "cancelled":
+            self._count("serve.cancelled")
+            state.cancelled += 1
+        else:
+            self._count("serve.failed")
+            state.failed += 1
         if outcome.degraded:
             self._count("serve.degraded_queries")
+        if outcome.brownout_degraded:
+            self._count("serve.brownout_degraded_queries")
         if self.session is not None:
             with self.session.span(
                 f"serve:q{outcome.query_id}" + (f":{outcome.tag}" if outcome.tag else ""),
                 category="serve",
+                status=outcome.status,
+                tenant=outcome.tenant,
                 stream=outcome.stream,
                 arrival_s=outcome.arrival_s,
                 admitted_s=outcome.admitted_s,

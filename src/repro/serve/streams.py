@@ -73,13 +73,21 @@ class ScheduledItem:
 
 @dataclass
 class QueryCompletion:
-    """A query leaving the device, with its service interval."""
+    """A query leaving the device, with its service interval.
+
+    ``cancelled`` marks a deadline termination: the query's deadline
+    passed while its kernels were stretching under contention, and the
+    scheduler released the stream at the next kernel boundary (in-flight
+    kernels always complete — cancellation is cooperative here too).
+    ``solo_seconds`` then covers only the kernels that actually ran.
+    """
 
     query_id: int
     stream: int
     start_s: float
     finish_s: float
     solo_seconds: float
+    cancelled: bool = False
 
 
 @dataclass
@@ -94,6 +102,7 @@ class _Active:
     item_start_s: float = 0.0
     start_s: float = 0.0
     solo_seconds: float = 0.0
+    deadline_s: Optional[float] = None
     scheduled: List[ScheduledItem] = field(default_factory=list)
 
 
@@ -147,11 +156,21 @@ class StreamScheduler:
 
     # -- admission to service ----------------------------------------------
 
-    def start(self, query_id: int, items: Sequence[WorkItem], at_s: float) -> int:
+    def start(
+        self,
+        query_id: int,
+        items: Sequence[WorkItem],
+        at_s: float,
+        deadline_s: Optional[float] = None,
+    ) -> int:
         """Place a query on a free stream at *at_s*; returns the stream.
 
         ``at_s`` must not precede the scheduler clock (service cannot
-        start in the past); the clock advances to ``at_s``.
+        start in the past); the clock advances to ``at_s``.  With a
+        ``deadline_s``, the query is cancelled at the first kernel
+        boundary at or past the deadline (its completion comes back
+        with ``cancelled=True``); contention can therefore push a query
+        past a deadline its solo time would have met.
         """
         if at_s < self.clock_s - _EPS:
             raise ServeConfigError(
@@ -174,6 +193,7 @@ class StreamScheduler:
             item_start_s=self.clock_s,
             start_s=self.clock_s,
             solo_seconds=sum(item.seconds for item in work),
+            deadline_s=deadline_s,
         )
         self._streams[stream] = active
         self.peak_concurrency = max(self.peak_concurrency, self.active_count)
@@ -251,6 +271,24 @@ class StreamScheduler:
             self.history.append(record)
             slot.index += 1
             if slot.index < len(slot.items):
+                if (
+                    slot.deadline_s is not None
+                    and self.clock_s >= slot.deadline_s - _EPS
+                ):
+                    # Deadline passed with kernels still pending: release
+                    # the stream now rather than finish doomed work.  The
+                    # just-retired kernel stays charged (it did run).
+                    self._streams[stream] = None
+                    return QueryCompletion(
+                        query_id=slot.query_id,
+                        stream=stream,
+                        start_s=slot.start_s,
+                        finish_s=self.clock_s,
+                        solo_seconds=sum(
+                            item.seconds for item in slot.items[: slot.index]
+                        ),
+                        cancelled=True,
+                    )
                 slot.remaining = slot.items[slot.index].seconds
                 slot.item_start_s = self.clock_s
                 continue

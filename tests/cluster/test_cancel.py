@@ -1,0 +1,94 @@
+"""Cooperative cancellation at cluster superstep boundaries.
+
+The cluster's cancellation unit is the *superstep*: the ambient token
+is checked on entry, charged with the barrier-max step time on exit,
+and re-checked — per-device contexts inside the step deliberately carry
+no token (per-device charges would double-count against the
+cluster-clock charge).
+"""
+
+import pytest
+
+from repro.cancel import CancellationToken
+from repro.cluster import ClusterContext, sharded_join
+from repro.errors import QueryCancelledError
+from repro.gpusim import KernelStats
+from repro.workloads import JoinWorkloadSpec, generate_join_workload
+
+
+@pytest.fixture(scope="module")
+def relations():
+    return generate_join_workload(
+        JoinWorkloadSpec(r_rows=1024, s_rows=2048, r_payload_columns=1,
+                         s_payload_columns=1, seed=21)
+    )
+
+
+def test_superstep_charges_the_ambient_token(relations, setup):
+    r, s = relations
+    token = CancellationToken(deadline_s=1e9)
+    with token.activated():
+        result = sharded_join(
+            r, s, algorithm="PHJ-OM", device=setup.device,
+            num_devices=2, config=setup.config, seed=0,
+        )
+    assert token.consumed_s == pytest.approx(result.total_seconds)
+    assert token.checks > 0
+
+
+def test_expiry_cancels_at_the_next_superstep_boundary(relations, setup):
+    r, s = relations
+    # Tiny but nonzero deadline: entry check passes (nothing consumed),
+    # the first superstep completes and is charged, and the boundary
+    # check after it observes expiry.
+    token = CancellationToken(deadline_s=1e-12)
+    with token.activated():
+        with pytest.raises(QueryCancelledError) as excinfo:
+            sharded_join(
+                r, s, algorithm="PHJ-OM", device=setup.device,
+                num_devices=2, config=setup.config, seed=0,
+            )
+    assert excinfo.value.site.startswith("superstep:")
+    assert excinfo.value.reason == "deadline"
+    # The completed superstep stays charged (it did run).
+    assert token.consumed_s > 0
+
+
+def test_already_cancelled_token_stops_before_any_compute(setup):
+    token = CancellationToken()
+    token.cancel("manual")
+    with token.activated():
+        cluster = ClusterContext(device=setup.device, num_devices=2, seed=0)
+        with pytest.raises(QueryCancelledError) as excinfo:
+            with cluster.compute_step("never-runs") as step:
+                step.contexts[0].submit(
+                    KernelStats(name="x", items=100, seq_read_bytes=1 << 12)
+                )
+    assert excinfo.value.reason == "manual"
+    assert cluster.total_seconds == 0.0
+
+
+def test_device_contexts_inside_a_step_carry_no_token(setup):
+    # Per-device charges would double-count: the cluster charges the
+    # barrier max, not the per-device sum.
+    token = CancellationToken(deadline_s=1e9)
+    with token.activated():
+        cluster = ClusterContext(device=setup.device, num_devices=2, seed=0)
+        with cluster.compute_step("probe") as step:
+            assert all(ctx.cancel_token is None for ctx in step.contexts)
+            for ctx in step.contexts:
+                ctx.submit(
+                    KernelStats(name="x", items=100, seq_read_bytes=1 << 12)
+                )
+    assert token.consumed_s == pytest.approx(cluster.total_seconds)
+
+
+def test_no_ambient_token_means_no_cancellation_state(relations, setup):
+    r, s = relations
+    cluster = ClusterContext(device=setup.device, num_devices=2, seed=0)
+    assert cluster.cancel_token is None
+    result = sharded_join(
+        r, s, algorithm="PHJ-OM", device=setup.device,
+        num_devices=2, config=setup.config, seed=0,
+    )
+    assert result.matches > 0

@@ -1,0 +1,164 @@
+"""Cooperative cancellation: token semantics and kernel-boundary checks.
+
+The contract under test (see ``repro.cancel``): tokens are checked
+*before* new work and charged *after* completed work — a launched
+kernel always finishes and is always accounted, exactly like a real GPU
+kernel that cannot be interrupted mid-flight.
+"""
+
+import pytest
+
+from repro.cancel import CancellationToken, current_token
+from repro.errors import QueryCancelledError
+from repro.faults import FaultPlan
+from repro.gpusim import A100, GPUContext, KernelStats
+
+WORK = KernelStats(name="work", items=1 << 16, seq_read_bytes=1 << 24)
+
+
+# -- token unit semantics -----------------------------------------------------
+
+
+def test_charge_advances_the_simulated_position():
+    token = CancellationToken(deadline_s=2.0, start_s=0.5)
+    assert token.now_s == 0.5
+    assert token.remaining_s == 1.5
+    token.charge(1.0)
+    assert token.now_s == 1.5 and not token.expired
+    token.charge(0.5)
+    assert token.expired  # now_s == deadline counts as expired
+    assert token.remaining_s == 0.0
+
+
+def test_deadline_free_token_never_expires():
+    token = CancellationToken()
+    token.charge(1e9)
+    assert not token.expired
+    assert token.remaining_s == float("inf")
+    token.check("anywhere")  # no-op
+
+
+def test_check_raises_a_typed_error_once_expired():
+    token = CancellationToken(deadline_s=1.0, label="q7")
+    token.charge(1.0)
+    with pytest.raises(QueryCancelledError) as excinfo:
+        token.check("kernel:probe")
+    error = excinfo.value
+    assert error.reason == "deadline"
+    assert error.site == "kernel:probe"
+    assert error.deadline_s == 1.0
+    assert error.consumed_s == 1.0
+    assert "q7" in str(error)
+    # The token remembers the first observing site.
+    assert token.cancelled and token.site == "kernel:probe"
+
+
+def test_manual_cancel_carries_its_reason():
+    token = CancellationToken()
+    token.cancel("server-closed")
+    with pytest.raises(QueryCancelledError) as excinfo:
+        token.check("queue")
+    assert excinfo.value.reason == "server-closed"
+
+
+def test_ambient_activation_is_a_stack():
+    outer, inner = CancellationToken(label="outer"), CancellationToken(label="inner")
+    assert current_token() is None
+    with outer.activated():
+        assert current_token() is outer
+        with inner.activated():
+            assert current_token() is inner
+        assert current_token() is outer
+    assert current_token() is None
+
+
+# -- GPUContext integration ---------------------------------------------------
+
+
+def test_submit_checks_before_launch_and_charges_after():
+    token = CancellationToken(deadline_s=1e9)
+    ctx = GPUContext(device=A100, seed=0, cancel_token=token)
+    ctx.submit(WORK)
+    assert token.consumed_s == ctx.elapsed_seconds > 0
+    assert token.checks >= 1
+
+
+def test_launched_kernel_completes_even_past_the_deadline():
+    # Deadline smaller than one kernel: the first submit passes the
+    # pre-launch check (nothing consumed yet), runs to completion, and
+    # is charged past the deadline; only the *next* submit is refused.
+    probe = GPUContext(device=A100, seed=0)
+    probe.submit(WORK)
+    kernel_s = probe.elapsed_seconds
+
+    token = CancellationToken(deadline_s=kernel_s / 2)
+    ctx = GPUContext(device=A100, seed=0, cancel_token=token)
+    ctx.submit(WORK)
+    assert token.consumed_s == pytest.approx(kernel_s)
+    with pytest.raises(QueryCancelledError) as excinfo:
+        ctx.submit(WORK)
+    assert excinfo.value.site == "kernel:work"
+    # The refused kernel never ran: no time was charged for it.
+    assert ctx.elapsed_seconds == pytest.approx(kernel_s)
+
+
+def test_deadline_exactly_at_a_kernel_boundary_cancels():
+    probe = GPUContext(device=A100, seed=0)
+    probe.submit(WORK)
+    token = CancellationToken(deadline_s=probe.elapsed_seconds)
+    ctx = GPUContext(device=A100, seed=0, cancel_token=token)
+    ctx.submit(WORK)  # charges exactly the deadline
+    assert token.expired
+    with pytest.raises(QueryCancelledError):
+        ctx.submit(WORK)
+
+
+def test_fault_retry_loop_recharges_and_rechecks():
+    # Every attempt faults (rate ~1); the lost time of the first failed
+    # attempt is charged and the retry-boundary check observes expiry
+    # before the next attempt launches.
+    token = CancellationToken(deadline_s=1e-12)
+    ctx = GPUContext(
+        device=A100,
+        seed=0,
+        cancel_token=token,
+        fault_plan=FaultPlan(seed=5, kernel_fault_rate=0.999),
+    )
+    with pytest.raises(QueryCancelledError) as excinfo:
+        ctx.submit(WORK)
+    assert excinfo.value.site == "retry:work"
+    assert token.consumed_s > 0  # the failed attempt's lost time
+
+
+def test_context_picks_up_the_ambient_token():
+    token = CancellationToken(deadline_s=1e9)
+    with token.activated():
+        ambient = GPUContext(device=A100, seed=0)
+        opted_out = GPUContext(device=A100, seed=0, cancel_token=None)
+    assert ambient.cancel_token is token
+    assert opted_out.cancel_token is None
+    ambient.submit(WORK)
+    opted_out.submit(WORK)
+    # Only the ambient context charged the token.
+    assert token.consumed_s == pytest.approx(ambient.elapsed_seconds)
+
+
+def test_fork_inherits_the_token():
+    token = CancellationToken(deadline_s=1e9)
+    ctx = GPUContext(device=A100, seed=0, cancel_token=token)
+    assert ctx.fork(seed=1).cancel_token is token
+
+
+def test_submit_many_checks_once_and_charges_the_batch():
+    token = CancellationToken(deadline_s=1e9)
+    ctx = GPUContext(device=A100, seed=0, cancel_token=token)
+    ctx.submit_many([WORK, WORK])
+    assert token.consumed_s == pytest.approx(ctx.elapsed_seconds)
+
+    expired = CancellationToken(deadline_s=1e-12)
+    expired.charge(1.0)
+    ctx2 = GPUContext(device=A100, seed=0, cancel_token=expired)
+    with pytest.raises(QueryCancelledError) as excinfo:
+        ctx2.submit_many([WORK, WORK])
+    assert excinfo.value.site == "kernel-batch"
+    assert ctx2.elapsed_seconds == 0.0

@@ -1,0 +1,180 @@
+"""Brownout load-shedding: the controller state machine and its effect
+on serving (degraded execution, door shedding, hysteretic recovery)."""
+
+import pytest
+
+from repro.errors import ServeConfigError
+from repro.query import execute
+from repro.query.plan import Join, Scan
+from repro.serve import (
+    DEGRADED,
+    NORMAL,
+    SHED,
+    BrownoutController,
+    BrownoutPolicy,
+    QueryServer,
+)
+
+from tests.serve.conftest import SERVE_SEED, assert_bit_identical
+
+
+@pytest.fixture
+def plan(r, s):
+    return Join(Scan(r), Scan(s))
+
+
+# -- the controller in isolation ---------------------------------------------
+
+
+def test_policy_validation():
+    with pytest.raises(ServeConfigError):
+        BrownoutPolicy(degrade_enter=0.5, degrade_exit=0.6)  # exit > enter
+    with pytest.raises(ServeConfigError):
+        BrownoutPolicy(shed_enter=0.5, degrade_enter=0.7)  # shed below degrade
+    with pytest.raises(ServeConfigError):
+        BrownoutPolicy(shed_fraction=1.5)
+
+
+def test_pressure_is_the_max_of_the_three_signals():
+    ctl = BrownoutController()
+    ctl.update(0.0, queue_frac=0.1, occupancy=0.75, memory_frac=0.2)
+    assert ctl.pressure == 0.75
+    assert ctl.level == DEGRADED  # default degrade_enter=0.70
+
+
+def test_escalation_is_immediate_recovery_is_stepped():
+    ctl = BrownoutController(
+        BrownoutPolicy(degrade_enter=0.6, degrade_exit=0.3,
+                       shed_enter=0.9, shed_exit=0.5)
+    )
+    # NORMAL -> SHED in a single update: no intermediate dwell.
+    assert ctl.update(0.0, 0.95, 0.0, 0.0) == SHED
+    # Recovery steps down one level at a time through the exits.
+    assert ctl.update(1.0, 0.45, 0.0, 0.0) == DEGRADED  # <= shed_exit
+    assert ctl.update(2.0, 0.45, 0.0, 0.0) == DEGRADED  # holds: > degrade_exit
+    assert ctl.update(3.0, 0.2, 0.0, 0.0) == NORMAL
+    # A deep collapse while shedding skips straight to NORMAL.
+    ctl.update(4.0, 0.95, 0.0, 0.0)
+    assert ctl.update(5.0, 0.1, 0.0, 0.0) == NORMAL
+
+
+def test_hysteresis_band_holds_the_level():
+    ctl = BrownoutController(
+        BrownoutPolicy(degrade_enter=0.6, degrade_exit=0.3)
+    )
+    ctl.update(0.0, 0.7, 0.0, 0.0)
+    # Pressure falls below the enter threshold but stays above the exit:
+    # the level must not flap back to NORMAL.
+    assert ctl.update(1.0, 0.5, 0.0, 0.0) == DEGRADED
+    assert ctl.update(2.0, 0.35, 0.0, 0.0) == DEGRADED
+    assert ctl.update(3.0, 0.3, 0.0, 0.0) == NORMAL
+
+
+def test_transitions_and_time_in_level_are_recorded():
+    ctl = BrownoutController(
+        BrownoutPolicy(degrade_enter=0.6, degrade_exit=0.3)
+    )
+    ctl.update(0.0, 0.7, 0.0, 0.0)
+    ctl.update(10.0, 0.1, 0.0, 0.0)
+    assert [(t.from_level, t.to_level) for t in ctl.transitions] == [
+        (NORMAL, DEGRADED), (DEGRADED, NORMAL)
+    ]
+    assert ctl.transitions[0].describe()
+    assert ctl.level_seconds[DEGRADED] == pytest.approx(10.0)
+    assert ctl.level_name == "normal"
+    assert not ctl.degraded and not ctl.shedding
+
+
+# -- the server under pressure ------------------------------------------------
+
+
+def test_degraded_admission_disables_fusion_but_stays_bit_identical(plan):
+    baseline = execute(plan, seed=SERVE_SEED).output
+    server = QueryServer(
+        streams=2,
+        seed=SERVE_SEED,
+        queue_depth=8,
+        enable_result_cache=False,
+        # Any queued query pushes queue_frac past the enter threshold.
+        brownout=BrownoutPolicy(degrade_enter=0.1, degrade_exit=0.05,
+                                shed_enter=0.95, shed_exit=0.5),
+    )
+    for _ in range(6):
+        server.submit(plan, at_s=0.0)
+    outcomes = server.run()
+    assert all(o.status == "completed" for o in outcomes)
+    degraded = [o for o in outcomes if o.brownout_degraded]
+    assert degraded  # some queries were admitted under brownout
+    for o in outcomes:
+        assert_bit_identical(o.output, baseline)
+    assert server.metrics.value("serve.brownout_degraded_queries") == len(
+        degraded
+    )
+    # Load has drained: the controller recovered to NORMAL.
+    assert server.brownout.level == NORMAL
+    assert server.metrics.value("serve.brownout_transitions") >= 2
+
+
+def test_shedding_drops_low_priority_queued_and_door_rejects(plan):
+    server = QueryServer(
+        streams=1,
+        seed=SERVE_SEED,
+        queue_depth=4,
+        enable_result_cache=False,
+        brownout=BrownoutPolicy(degrade_enter=0.2, degrade_exit=0.1,
+                                shed_enter=0.5, shed_exit=0.3,
+                                shed_fraction=0.5, shed_priority_max=0),
+    )
+    # Flood at one instant; the high-priority query must survive the shed.
+    vip = server.submit(plan, at_s=0.0, priority=5)
+    ids = [server.submit(plan, at_s=0.0) for _ in range(5)]
+    outcomes = {o.query_id: o for o in server.run()}
+    shed = [
+        i for i in ids
+        if outcomes[i].status == "rejected"
+        and outcomes[i].error.reason == "brownout-shed"
+    ]
+    assert shed
+    assert outcomes[vip].status == "completed"
+    assert server.metrics.value("serve.brownout_shed_queued") >= 1
+    assert server.brownout.level == NORMAL  # recovered after the drain
+    assert server.memory.reserved_bytes == 0
+
+
+def test_cache_population_is_suspended_while_degraded(plan):
+    server = QueryServer(
+        streams=2,
+        seed=SERVE_SEED,
+        queue_depth=8,
+        # A 6-query flood exceeds these; a lone query stays below them.
+        brownout=BrownoutPolicy(degrade_enter=0.6, degrade_exit=0.3,
+                                shed_enter=0.95, shed_exit=0.65),
+    )
+    for _ in range(6):
+        server.submit(plan, at_s=0.0)
+    outcomes = server.run()
+    degraded = [o for o in outcomes if o.brownout_degraded]
+    assert degraded
+    # Degraded admissions never populated the result cache, so at most
+    # the non-degraded admissions' single entry exists.
+    assert len(server.result_cache) <= 1
+    # After recovery a fresh query populates again.
+    assert server.brownout.level == NORMAL
+    server.submit(plan)
+    server.run()
+    post = server.outcomes[-1]
+    assert not post.brownout_degraded
+    assert len(server.result_cache) == 1
+    assert server.query(plan).result_cache_hit
+
+
+def test_brownout_true_uses_the_default_policy(plan):
+    server = QueryServer(streams=2, seed=SERVE_SEED, brownout=True)
+    assert isinstance(server.brownout, BrownoutController)
+    server.submit(plan)
+    assert server.run()[0].status == "completed"
+
+
+def test_no_brownout_by_default(plan):
+    server = QueryServer(streams=1, seed=SERVE_SEED)
+    assert server.brownout is None

@@ -179,6 +179,91 @@ def test_catalog_misuse_raises(r):
         server.relation("ghost")
 
 
+def test_fault_injected_queries_never_populate_the_caches(r, s):
+    # A faulted execution is only guaranteed equal up to row order, so
+    # admitting its output would poison every later exact-match lookup.
+    from repro.faults import FaultPlan
+
+    storm = FaultPlan(seed=9, kernel_fault_rate=0.5)
+    server = QueryServer(streams=1, seed=SERVE_SEED)
+    plan = Join(Scan(r), Scan(s))
+    server.submit(plan, fault_plan=storm)
+    server.run()
+    assert len(server.result_cache) == 0 and len(server.plan_cache) == 0
+    # A later clean query misses (no stale faulted entry) and populates.
+    clean = server.query(plan)
+    assert not clean.result_cache_hit
+    assert len(server.result_cache) == 1
+    assert_bit_identical(clean.output, execute(plan, seed=SERVE_SEED).output)
+
+
+def test_failed_queries_never_populate_the_result_cache(r, s):
+    from repro.aggregation import AggSpec
+    from repro.faults import FaultPlan
+    from repro.query.plan import Aggregate
+
+    plan = Aggregate(Join(Scan(r), Scan(s)), group_column="r1",
+                     aggregates=(AggSpec("s1", "sum"),))
+    server = QueryServer(streams=1, seed=SERVE_SEED)
+    server.submit(plan, fault_plan=FaultPlan(seed=5, capacity_frac=1e-10))
+    (outcome,) = server.run()
+    assert outcome.status == "failed"
+    assert len(server.result_cache) == 0
+
+
+def test_verify_cache_inserts_oracle_accepts_clean_outputs(r, s):
+    server = QueryServer(streams=1, seed=SERVE_SEED, verify_cache_inserts=True)
+    plan = Join(Scan(r), Scan(s))
+    first = server.query(plan)
+    assert server.metrics.value("serve.cache_inserts_verified") == 1.0
+    assert server.query(plan).result_cache_hit
+    assert_bit_identical(first.output, execute(plan, seed=SERVE_SEED).output)
+
+
+def test_verify_cache_inserts_env_var_enables_the_oracle(r, s, monkeypatch):
+    monkeypatch.setenv("REPRO_SERVE_VERIFY_CACHE", "1")
+    server = QueryServer(streams=1, seed=SERVE_SEED)
+    assert server.verify_cache_inserts
+    server.query(Join(Scan(r), Scan(s)))
+    assert server.metrics.value("serve.cache_inserts_verified") == 1.0
+    monkeypatch.delenv("REPRO_SERVE_VERIFY_CACHE")
+    assert not QueryServer(streams=1, seed=SERVE_SEED).verify_cache_inserts
+
+
+def test_verify_cache_inserts_catches_a_poisoned_output(r, s, monkeypatch):
+    # Sabotage the serving-side execution (it runs under a trace
+    # session) while leaving the oracle's clean re-execution (no trace)
+    # untouched: the guard must refuse the corrupted output.
+    from repro.query.executor import QueryExecutor
+
+    real_execute = QueryExecutor.execute
+
+    def corrupting(self, plan, optimize=True, trace=None):
+        result = real_execute(self, plan, optimize=optimize, trace=trace)
+        if trace is not None and result.output is not None:
+            columns = list(result.output.columns().items())
+            name, column = columns[0]
+            column = column.copy()
+            column[0] += 1
+            result.output = Relation(
+                [(name, column)] + columns[1:], key=result.output.key
+            )
+        return result
+
+    monkeypatch.setattr(
+        "repro.query.executor.QueryExecutor.execute", corrupting
+    )
+    server = QueryServer(streams=1, seed=SERVE_SEED, verify_cache_inserts=True)
+    plan = Join(Scan(r), Scan(s))
+    server.submit(plan)
+    with pytest.raises(AssertionError, match="cache poisoning"):
+        server.run()
+    # The guard fired before the poisoned entry landed, and the
+    # unwinding path freed the admission reservation.
+    assert len(server.result_cache) == 0
+    assert server.memory.reserved_bytes == 0
+
+
 def test_tiny_result_cache_evicts_but_stays_correct(r, s, t):
     baseline_rs = execute(Join(Scan(r), Scan(s)), seed=SERVE_SEED).output
     baseline_rt = execute(Join(Scan(r), Scan(t)), seed=SERVE_SEED).output

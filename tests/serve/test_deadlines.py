@@ -1,0 +1,200 @@
+"""Deadline semantics end to end: queued expiry, execution cancel,
+stream-boundary cancel, and the fault-retry interaction.
+
+Edge cases pinned here:
+
+* expiry while *queued* → the query is never started (starting doomed
+  work would steal streams/memory from queries that can still make it);
+* a deadline landing *exactly* on a kernel boundary cancels at that
+  boundary (``>=``, not ``>``);
+* the in-flight kernel always completes — a deadline inside the *last*
+  kernel yields a completed-late outcome (``deadline_missed``), never a
+  cancellation;
+* fault retries recharge the token, so a deadline can expire inside the
+  retry loop of an otherwise-affordable query.
+"""
+
+import pytest
+
+from repro.errors import QueryCancelledError, ServeConfigError
+from repro.faults import FaultPlan
+from repro.query import execute
+from repro.query.plan import Join, Scan
+from repro.serve import QueryServer
+from repro.serve.streams import StreamScheduler, WorkItem
+
+from tests.serve.conftest import SERVE_SEED, assert_bit_identical
+
+
+@pytest.fixture
+def plan(r, s):
+    return Join(Scan(r), Scan(s))
+
+
+@pytest.fixture
+def solo_s(plan):
+    return execute(plan, seed=SERVE_SEED).total_seconds
+
+
+def drained(server):
+    """Every reservation and byte returned after the run."""
+    return (
+        server.memory.reserved_bytes == 0
+        and server.memory.current_bytes == 0
+        and not server._inflight
+    )
+
+
+# -- scheduler-level boundary semantics (exact arithmetic) --------------------
+
+
+def test_stream_cancel_exactly_at_a_kernel_boundary():
+    sched = StreamScheduler(streams=1)
+    sched.start(0, [WorkItem("k0", 1.0), WorkItem("k1", 1.0)], at_s=0.0,
+                deadline_s=1.0)
+    done = sched.advance_to(float("inf"))
+    assert done.cancelled
+    assert done.finish_s == 1.0
+    assert done.solo_seconds == 1.0  # only the kernel that actually ran
+    assert sched.free_streams() == 1  # the stream was released
+
+
+def test_deadline_inside_the_final_kernel_completes_late():
+    sched = StreamScheduler(streams=1)
+    sched.start(0, [WorkItem("k0", 1.0)], at_s=0.0, deadline_s=0.5)
+    done = sched.advance_to(float("inf"))
+    assert not done.cancelled  # the launched kernel always completes
+    assert done.finish_s == 1.0
+
+
+def test_deadline_just_past_the_boundary_lets_the_next_kernel_run():
+    sched = StreamScheduler(streams=1)
+    sched.start(0, [WorkItem("k0", 1.0), WorkItem("k1", 1.0)], at_s=0.0,
+                deadline_s=1.5)
+    done = sched.advance_to(float("inf"))
+    # Boundary at 1.0 precedes the deadline, so k1 starts — and then
+    # must finish (completed-late), not be cut mid-kernel.
+    assert not done.cancelled
+    assert done.finish_s == 2.0
+
+
+# -- server-level paths -------------------------------------------------------
+
+
+def test_expiry_during_execution_cancels_and_frees_memory(plan):
+    server = QueryServer(streams=2, seed=SERVE_SEED)
+    query_id = server.submit(plan, deadline_s=1e-9)
+    (outcome,) = server.run()
+    assert outcome.query_id == query_id
+    assert outcome.status == "cancelled"
+    assert isinstance(outcome.error, QueryCancelledError)
+    assert outcome.error.reason == "deadline"
+    assert outcome.error.site  # the boundary that observed it
+    assert outcome.output is None
+    assert server.metrics.value("serve.cancelled_executing") == 1.0
+    assert drained(server)
+
+
+def test_generous_deadline_completes_without_the_missed_flag(plan, solo_s):
+    server = QueryServer(streams=2, seed=SERVE_SEED)
+    server.submit(plan, deadline_s=solo_s * 100)
+    (outcome,) = server.run()
+    assert outcome.status == "completed"
+    assert not outcome.deadline_missed
+    assert_bit_identical(outcome.output, execute(plan, seed=SERVE_SEED).output)
+    assert drained(server)
+
+
+def test_expiry_while_queued_rejects_without_starting(plan, solo_s):
+    server = QueryServer(streams=1, seed=SERVE_SEED, enable_result_cache=False)
+    blocker = server.submit(plan)  # occupies the only stream
+    doomed = server.submit(plan, deadline_s=solo_s / 100)
+    outcomes = {o.query_id: o for o in server.run()}
+    assert outcomes[blocker].status == "completed"
+    victim = outcomes[doomed]
+    assert victim.status == "cancelled"
+    assert victim.error.reason == "deadline-queued"
+    assert victim.error.site == "queue"
+    assert victim.stream == -1  # never admitted to a stream
+    assert server.metrics.value("serve.cancelled_queued") == 1.0
+    assert drained(server)
+
+
+def test_dead_on_arrival_is_cancelled_not_queued(plan, solo_s):
+    # The horizon only reaches the arrival after its deadline passed.
+    server = QueryServer(streams=1, seed=SERVE_SEED, enable_result_cache=False)
+    server.submit(plan, at_s=0.0)
+    server.submit(plan, at_s=0.0, deadline_s=solo_s / 100)
+    server.run()
+    doa = [o for o in server.outcomes if o.status == "cancelled"]
+    assert len(doa) == 1 and doa[0].error.reason == "deadline-queued"
+
+
+def test_contention_can_push_a_solo_affordable_deadline_over(plan, solo_s):
+    # Deadline > solo time, but two queries sharing the device stretch
+    # each other past it: cancellation happens on the *stream*, after
+    # the correctness half already succeeded.
+    server = QueryServer(
+        streams=2, seed=SERVE_SEED, enable_result_cache=False, interference=1.0
+    )
+    server.submit(plan, at_s=0.0, deadline_s=solo_s * 1.2)
+    server.submit(plan, at_s=0.0, deadline_s=solo_s * 1.2)
+    outcomes = server.run()
+    stream_cancelled = [
+        o for o in outcomes
+        if o.status == "cancelled" and o.error.reason == "deadline-stream"
+    ]
+    assert stream_cancelled
+    for o in stream_cancelled:
+        assert o.error.site.startswith("stream:")
+        assert o.output is None
+    assert drained(server)
+
+
+def test_fault_retries_consume_deadline_budget(plan, solo_s):
+    # Generous against the solo time, hopeless against retry backoff
+    # (absolute backoff constants dwarf scaled kernel times).
+    storm = FaultPlan(seed=3, kernel_fault_rate=0.9)
+    server = QueryServer(streams=2, seed=SERVE_SEED)
+    server.submit(plan, fault_plan=storm, deadline_s=solo_s * 10)
+    (outcome,) = server.run()
+    assert outcome.status == "cancelled"
+    assert outcome.error.reason == "deadline"
+    assert outcome.error.site.startswith(("retry:", "kernel", "operator:"))
+    assert drained(server)
+
+    # The same deadline without faults completes comfortably.
+    clean = QueryServer(streams=2, seed=SERVE_SEED)
+    clean.submit(plan, deadline_s=solo_s * 10)
+    assert clean.run()[0].status == "completed"
+
+
+def test_default_deadline_applies_when_submit_gives_none(plan):
+    server = QueryServer(streams=2, seed=SERVE_SEED, default_deadline_s=1e-9)
+    server.submit(plan)
+    (outcome,) = server.run()
+    assert outcome.status == "cancelled"
+    # An explicit deadline overrides the default.
+    server2 = QueryServer(streams=2, seed=SERVE_SEED, default_deadline_s=1e-9)
+    server2.submit(plan, deadline_s=1e6)
+    assert server2.run()[0].status == "completed"
+
+
+def test_nonpositive_deadline_is_a_config_error(plan):
+    server = QueryServer(streams=1, seed=SERVE_SEED)
+    with pytest.raises(ServeConfigError, match="deadline_s"):
+        server.submit(plan, deadline_s=0.0)
+    with pytest.raises(ServeConfigError, match="deadline_s"):
+        server.submit(plan, deadline_s=-1.0)
+
+
+def test_cancelled_queries_count_in_the_report(plan):
+    server = QueryServer(streams=2, seed=SERVE_SEED)
+    server.submit(plan, deadline_s=1e-9)
+    server.submit(plan)
+    server.run()
+    report = server.report()
+    assert report.submitted == 2
+    assert report.completed == 1
+    assert report.cancelled == 1
+    assert "cancelled" in report.render()

@@ -1,0 +1,206 @@
+"""Tenant quotas and the server-wide retry budget.
+
+The two starvation directions pinned here:
+
+* a greedy tenant at its cap cannot monopolize streams — its queued
+  entries are *skipped* (deferred), so other tenants keep flowing;
+* fault-retry storms cannot monopolize the device — once the retry
+  budget is spent, further fault-injecting submissions are turned away
+  with a typed rejection while clean queries still run.
+"""
+
+import pytest
+
+from repro.errors import ServeConfigError
+from repro.faults import FaultPlan
+from repro.query.plan import Join, Scan
+from repro.serve import QueryServer, RetryBudget, TenantQuota
+
+
+@pytest.fixture
+def plan(r, s):
+    return Join(Scan(r), Scan(s))
+
+
+def peak_overlap(outcomes, tenant):
+    """Max queries of *tenant* simultaneously in service."""
+    events = []
+    for o in outcomes:
+        if o.tenant == tenant and o.stream >= 0:
+            events.append((o.admitted_s, 1))
+            events.append((o.finish_s, -1))
+    peak = live = 0
+    for _, delta in sorted(events):  # departures first at equal instants
+        live += delta
+        peak = max(peak, live)
+    return peak
+
+
+# -- quota objects ------------------------------------------------------------
+
+
+def test_quota_validation():
+    with pytest.raises(ServeConfigError):
+        TenantQuota(max_concurrent=0)
+    with pytest.raises(ServeConfigError):
+        TenantQuota(max_reserved_bytes=-1)
+    with pytest.raises(ServeConfigError):
+        TenantQuota(max_queue_depth=-1)
+
+
+def test_retry_budget_arithmetic():
+    budget = RetryBudget(initial_s=1.0, refill_per_s=0.5)
+    assert budget.allowance_s(0.0) == 1.0
+    assert budget.allowance_s(2.0) == 2.0
+    budget.spend(1.5)
+    assert budget.remaining_s(0.0) == 0.0  # clamped, never negative
+    assert budget.remaining_s(2.0) == pytest.approx(0.5)
+    assert budget.exhausted(0.0) and not budget.exhausted(2.0)
+    budget.spend(-1.0)  # negative spends are ignored
+    assert budget.spent_s == 1.5
+
+
+# -- concurrency caps ---------------------------------------------------------
+
+
+def test_greedy_tenant_capped_without_starving_the_polite_one(plan):
+    server = QueryServer(
+        streams=4,
+        seed=0,
+        queue_depth=16,
+        enable_result_cache=False,
+        tenants={"greedy": TenantQuota(max_concurrent=1)},
+    )
+    for _ in range(6):
+        server.submit(plan, at_s=0.0, tenant="greedy")
+    for _ in range(3):
+        server.submit(plan, at_s=0.0, tenant="polite")
+    outcomes = server.run()
+    assert all(o.status == "completed" for o in outcomes)
+    # The cap binds: never more than one greedy query in service, while
+    # the polite tenant uses the streams the cap left free.
+    assert peak_overlap(outcomes, "greedy") == 1
+    assert peak_overlap(outcomes, "polite") > 1
+    assert server.metrics.value("serve.quota_deferrals") > 0
+    assert server.tenants["greedy"].quota_deferrals > 0
+    # The polite tenant is not stuck behind the greedy backlog.
+    polite_last = max(o.finish_s for o in outcomes if o.tenant == "polite")
+    greedy_last = max(o.finish_s for o in outcomes if o.tenant == "greedy")
+    assert polite_last < greedy_last
+
+
+def test_reserved_bytes_cap_defers_admission(plan):
+    estimate = QueryServer(streams=4, seed=0).estimate_bytes(plan)
+    server = QueryServer(
+        streams=4,
+        seed=0,
+        enable_result_cache=False,
+        tenants={"hungry": TenantQuota(max_reserved_bytes=estimate)},
+    )
+    for _ in range(3):
+        server.submit(plan, at_s=0.0, tenant="hungry")
+    outcomes = server.run()
+    assert all(o.status == "completed" for o in outcomes)
+    assert peak_overlap(outcomes, "hungry") == 1  # one reservation at a time
+
+
+def test_tenant_queue_depth_rejects_only_that_tenant(plan):
+    server = QueryServer(
+        streams=1,
+        seed=0,
+        queue_depth=8,
+        enable_result_cache=False,
+        tenants={"chatty": TenantQuota(max_concurrent=1, max_queue_depth=1)},
+    )
+    ids = [server.submit(plan, at_s=0.0, tenant="chatty") for _ in range(4)]
+    other = server.submit(plan, at_s=0.0, tenant="polite")
+    outcomes = {o.query_id: o for o in server.run()}
+    rejected = [i for i in ids if outcomes[i].status == "rejected"]
+    assert rejected  # the chatty overflow bounced at its own bound
+    for i in rejected:
+        assert outcomes[i].error.reason == "tenant-queue-full"
+    assert outcomes[other].status == "completed"  # global queue had room
+    assert server.tenants["chatty"].rejected == len(rejected)
+
+
+def test_set_quota_replaces_and_clears(plan):
+    server = QueryServer(streams=4, seed=0)
+    server.set_quota("t", TenantQuota(max_concurrent=1))
+    assert server.quotas["t"].max_concurrent == 1
+    server.set_quota("t", None)
+    assert "t" not in server.quotas
+
+
+def test_tenant_accounting_balances(plan):
+    server = QueryServer(
+        streams=2, seed=0, tenants={"a": TenantQuota(max_concurrent=1)}
+    )
+    for _ in range(3):
+        server.submit(plan, at_s=0.0, tenant="a")
+    server.run()
+    state = server.tenants["a"]
+    assert state.submitted == 3 and state.completed == 3
+    assert state.queued == 0 and state.inflight == 0
+    assert state.reserved_bytes == 0
+    snapshot = state.snapshot()
+    assert snapshot["completed"] == 3
+
+
+# -- the retry budget ---------------------------------------------------------
+
+
+def test_exhausted_budget_rejects_faulty_work_but_not_clean_work(plan):
+    storm = FaultPlan(seed=9, kernel_fault_rate=0.6)
+    server = QueryServer(streams=2, seed=0, retry_budget=0.0)
+    faulty = server.submit(plan, at_s=0.0, fault_plan=storm)
+    clean = server.submit(plan, at_s=0.0)
+    outcomes = {o.query_id: o for o in server.run()}
+    assert outcomes[faulty].status == "rejected"
+    assert outcomes[faulty].error.reason == "retry-budget"
+    assert outcomes[clean].status == "completed"
+    assert server.retry_budget.rejections == 1
+    assert server.metrics.value("serve.rejected_retry_budget") == 1.0
+
+
+def test_budget_spend_comes_from_measured_retry_seconds(plan):
+    storm = FaultPlan(seed=9, kernel_fault_rate=0.6)
+    server = QueryServer(streams=2, seed=0, retry_budget=1e6)
+    server.submit(plan, fault_plan=storm)
+    (outcome,) = server.run()
+    assert outcome.status == "completed"
+    assert server.retry_budget.spent_s > 0
+    assert server.metrics.value("serve.retry_budget_spent_s") == pytest.approx(
+        server.retry_budget.spent_s
+    )
+
+
+def test_refill_reopens_the_budget_on_the_simulated_clock(plan):
+    storm = FaultPlan(seed=9, kernel_fault_rate=0.6)
+    probe = QueryServer(streams=2, seed=0, retry_budget=1e6)
+    probe.submit(plan, fault_plan=storm)
+    probe.run()
+    storm_cost = probe.retry_budget.spent_s
+
+    server = QueryServer(
+        streams=2,
+        seed=0,
+        retry_budget=RetryBudget(initial_s=storm_cost * 0.5,
+                                 refill_per_s=storm_cost / 10.0),
+    )
+    first = server.submit(plan, at_s=0.0, fault_plan=storm)
+    second = server.submit(plan, at_s=1.0, fault_plan=storm)  # budget spent
+    third = server.submit(plan, at_s=100.0, fault_plan=storm)  # refilled
+    outcomes = {o.query_id: o for o in server.run()}
+    assert outcomes[first].status == "completed"
+    assert outcomes[second].status == "rejected"
+    assert outcomes[second].error.reason == "retry-budget"
+    assert outcomes[third].status == "completed"
+
+
+def test_fault_free_plans_never_touch_the_budget(plan):
+    inert = FaultPlan(seed=9)  # no rates set: injects nothing
+    server = QueryServer(streams=2, seed=0, retry_budget=0.0)
+    server.submit(plan, fault_plan=inert)
+    (outcome,) = server.run()
+    assert outcome.status == "completed"
+    assert server.retry_budget.rejections == 0

@@ -1,0 +1,37 @@
+"""Chaos soak (ext07) as a test: the reliability invariants per seed.
+
+Marked ``soak`` and excluded from the default (tier-1) run via
+``addopts = -m "not soak"`` — run explicitly with ``-m soak`` (CI's
+chaos-matrix job does, across seeds {3, 17, 123}).
+"""
+
+import pytest
+
+from repro.bench.experiments import ext07
+
+from tests.conftest import TEST_SCALE
+
+pytestmark = pytest.mark.soak
+
+INVARIANTS = (
+    "no_stalls_all_outcomes_recorded",
+    "zero_reservation_leaks",
+    "completed_bit_identical",
+    "non_completed_all_typed",
+    "deterministic_replay",
+)
+
+
+@pytest.mark.parametrize("seed", [3, 17, 123])
+def test_chaos_soak_invariants(seed):
+    result = ext07.run(scale=TEST_SCALE, seed=seed)
+    for invariant in INVARIANTS:
+        assert result.findings[invariant] == 1.0, (seed, invariant)
+    # The greedy tenant's max_concurrent=1 quota demonstrably binds...
+    assert result.findings["greedy_peak_concurrency"] <= 1.0
+    # ...without starving the polite tenant.
+    assert result.findings["polite_completed_under_flood"] > 0
+    # Deadlines actually fired somewhere in the soak.
+    assert result.findings["cancelled_total"] > 0
+    # The horizon is a genuine soak, not a smoke test.
+    assert result.findings["soak_simulated_seconds"] >= 1000.0
