@@ -76,6 +76,7 @@ from .joins import (
     recommend_join_algorithm,
 )
 from .relational import DictionaryEncoder, Relation, reference_groupby, reference_join
+from .tier import PlacementPolicy, SegmentCache, SegmentedRelation, TieredRuntime
 
 __version__ = "1.0.0"
 
@@ -112,6 +113,7 @@ __all__ = [
     "PartitionedGroupBy",
     "PartitionedHashJoin",
     "PartitionedHashJoinUM",
+    "PlacementPolicy",
     "QueryCancelledError",
     "QueryServer",
     "QueryTemplate",
@@ -119,11 +121,14 @@ __all__ = [
     "Relation",
     "ReproError",
     "RetryBudget",
+    "SegmentCache",
+    "SegmentedRelation",
     "ServeConfigError",
     "SortGroupBy",
     "SortMergeJoinOM",
     "SortMergeJoinUM",
     "TenantQuota",
+    "TieredRuntime",
     "TraceSession",
     "WorkloadDriver",
     "WorkloadError",

@@ -96,6 +96,27 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--zipf-factor",
+        type=float,
+        default=None,
+        metavar="Z",
+        help=(
+            "Zipf exponent of the template draw for tiering experiments; "
+            "forwarded to experiments that take a 'zipf_factor' knob (ext08)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-fraction",
+        type=float,
+        default=None,
+        metavar="F",
+        help=(
+            "segment-cache capacity as a fraction of device memory; "
+            "forwarded to experiments that take a 'cache_fraction' knob "
+            "(ext08)"
+        ),
+    )
+    parser.add_argument(
         "--trace",
         metavar="DIR",
         default=None,
@@ -144,6 +165,10 @@ def main(argv=None) -> int:
             kwargs["capacity_fracs"] = tuple(args.capacity_frac)
         if args.queries_per_phase is not None and "queries_per_phase" in params:
             kwargs["queries_per_phase"] = args.queries_per_phase
+        if args.zipf_factor is not None and "zipf_factor" in params:
+            kwargs["zipf_factor"] = args.zipf_factor
+        if args.cache_fraction is not None and "cache_fraction" in params:
+            kwargs["cache_fraction"] = args.cache_fraction
         if args.trace and "trace_dir" in params:
             kwargs["trace_dir"] = args.trace
         if args.trace:

@@ -23,6 +23,7 @@ from . import (
     ext05,
     ext06,
     ext07,
+    ext08,
     fig01,
     fig07,
     fig08,
@@ -47,7 +48,7 @@ ALL_EXPERIMENTS = {
         fig14, fig15, tab05, fig16, fig17, fig18,
         agg01, agg02, agg03, agg04, agg05, agg06,
         abl01, abl02, abl03, abl04,
-        ext01, ext02, ext03, ext04, ext05, ext06, ext07,
+        ext01, ext02, ext03, ext04, ext05, ext06, ext07, ext08,
     )
 }
 

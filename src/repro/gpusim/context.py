@@ -106,9 +106,12 @@ class GPUContext:
             injected = fault_plan.capacity_bytes(device)
             if injected is not None:
                 limit = injected if limit is None else min(limit, injected)
-        self.mem = DeviceMemory(limit, pool=BufferPool())
-        self.cost = CostModel(device)
         self.trace = trace if trace is not None else current_session()
+        # The pool mirrors its hit/miss counters into the trace session
+        # as pool.* metrics (satellite of the tiering work: cache-layer
+        # behavior must be visible in traces, not only on the objects).
+        self.mem = DeviceMemory(limit, pool=BufferPool(sink=self.trace))
+        self.cost = CostModel(device)
         self.cancel_token = (
             current_token() if cancel_token is GPUContext.AMBIENT else cancel_token
         )

@@ -39,16 +39,27 @@ class BufferPool:
     :class:`DeviceArray` held the sole reference (checked by refcount)
     and owns its memory outright — adopted views or aliased arrays are
     dropped as before.
+
+    ``sink`` mirrors the counters into an observability session as
+    ``pool.*`` metrics (any object with ``count(name, value)`` and a
+    ``metrics.record_max`` — duck-typed so gpusim stays import-free of
+    obs).  :class:`~repro.gpusim.context.GPUContext` wires its trace
+    session in automatically.
     """
 
-    def __init__(self, max_bytes: int = 8 << 30):
+    def __init__(self, max_bytes: int = 8 << 30, sink=None):
         self.max_bytes = int(max_bytes)
+        self.sink = sink
         self.pooled_bytes = 0
         self.hits = 0
         self.misses = 0
         self.recycled = 0
         self.dropped = 0
         self._buffers: Dict[Tuple[tuple, str], List[np.ndarray]] = {}
+
+    def _emit(self, name: str, value: float = 1.0) -> None:
+        if self.sink is not None:
+            self.sink.count(name, value)
 
     def take(self, shape, dtype) -> Optional[np.ndarray]:
         """A pooled buffer of exactly ``(shape, dtype)``, or ``None``."""
@@ -59,19 +70,25 @@ class BufferPool:
             data = stack.pop()
             self.pooled_bytes -= data.nbytes
             self.hits += 1
+            self._emit("pool.take_hit")
             return data
         self.misses += 1
+        self._emit("pool.take_miss")
         return None
 
     def give(self, data: np.ndarray) -> bool:
         """Offer a buffer back to the pool; False when dropped (pool full)."""
         if self.pooled_bytes + data.nbytes > self.max_bytes:
             self.dropped += 1
+            self._emit("pool.dropped")
             return False
         key = (data.shape, data.dtype.str)
         self._buffers.setdefault(key, []).append(data)
         self.pooled_bytes += data.nbytes
         self.recycled += 1
+        self._emit("pool.recycled")
+        if self.sink is not None:
+            self.sink.metrics.record_max("pool.pooled_bytes_peak", self.pooled_bytes)
         return True
 
     def clear(self) -> int:
@@ -79,6 +96,8 @@ class BufferPool:
         released = self.pooled_bytes
         self._buffers.clear()
         self.pooled_bytes = 0
+        if released:
+            self._emit("pool.cleared_bytes", released)
         return released
 
 

@@ -7,9 +7,9 @@ variant and the join planner need exactly that operation, so this module
 centralizes a sort-based implementation whose outputs are *bit-identical*
 to ``np.unique`` (sorted group keys, first-occurrence inverse mapping)
 — the oracle tests in ``tests/primitives/test_grouping.py`` pin the
-equivalence, and ``relational/validation.py`` deliberately keeps the
-``np.unique`` formulation as the reference the fast path is checked
-against.
+equivalence against ``np.unique`` directly, so every caller (including
+``relational/validation.py``'s reference implementations, which now use
+:func:`group_identify` too) rides the sort-based path.
 """
 
 from __future__ import annotations

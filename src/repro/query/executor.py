@@ -86,6 +86,16 @@ class QueryExecutor:
     of raising, recording ``degraded=`` in the operator trace.  OOM
     pressure (``capacity_frac``) is a single-device mechanism and
     conflicts with ``shards > 1``.
+
+    ``tiering=`` attaches a :class:`~repro.tier.TieredRuntime`: joins
+    over two base-relation scans and aggregates over one base-relation
+    scan are split into a GPU sub-operator over cache-resident segments
+    and a CPU sub-operator over cold ones (output bit-identical to the
+    untiered run for every placement).  Tiering is a single-device
+    residency mechanism and conflicts with ``shards > 1``; with a
+    ``fault_plan``, ``capacity_frac`` pressure shrinks the segment cache
+    (graceful demotion to the CPU tier) instead of OOM-failing, and
+    kernel faults retry inside the tier contexts as usual.
     """
 
     def __init__(
@@ -98,9 +108,17 @@ class QueryExecutor:
         fault_plan=None,
         join_output_hook=None,
         enable_fusion: bool = True,
+        tiering=None,
     ):
         if shards < 1:
             raise JoinConfigError(f"shards must be >= 1, got {shards}")
+        if tiering is not None and shards > 1:
+            # Segment residency is per-device state; a sharded run would
+            # need per-shard caches, which the cluster layer does not
+            # model.  Conflict loudly rather than silently untier.
+            raise JoinConfigError(
+                f"tiering is incompatible with shards > 1 (got shards={shards})"
+            )
         if (
             shards > 1
             and fault_plan is not None
@@ -131,6 +149,7 @@ class QueryExecutor:
         # The serving layer's brownout controller uses it to shed the
         # fused pipeline's peak-memory footprint under pressure.
         self.enable_fusion = enable_fusion
+        self.tiering = tiering
         self._session: Optional[TraceSession] = None
 
     def execute(
@@ -199,6 +218,7 @@ class QueryExecutor:
                 and isinstance(node.child, Join)
                 and self.shards == 1
                 and self.enable_fusion
+                and self.tiering is None
             ):
                 return self._run_fused_aggregate(node, trace, optimize)
             if optimize and isinstance(node.child, Join) and self.shards > 1:
@@ -257,6 +277,46 @@ class QueryExecutor:
             from dataclasses import replace
 
             config = replace(config, projection=tuple(projection))
+        if (
+            self.tiering is not None
+            and projection is None
+            and isinstance(node.left, Scan)
+            and isinstance(node.right, Scan)
+            and self.tiering.handles(left)
+            and self.tiering.handles(right)
+        ):
+            with self._operator_span(node.describe()) as span:
+                result = self.tiering.run_join(
+                    left,
+                    right,
+                    config=config,
+                    session=self._session,
+                    fault_plan=self.fault_plan,
+                    seed=self.seed,
+                )
+            if result is not None:
+                description = (
+                    f"Join[TIER hot:{result.hot_segments}"
+                    f"/cold:{result.cold_segments}]"
+                )
+                if span is not None:
+                    span.name = description
+                    span.args.update(
+                        rows=result.rows,
+                        algorithm=result.algorithm,
+                        hot_segments=result.hot_segments,
+                        cold_segments=result.cold_segments,
+                    )
+                trace.append(
+                    OperatorTrace(
+                        description,
+                        result.seconds,
+                        result.rows,
+                        extras=dict(result.extras),
+                        algorithm=result.algorithm,
+                    )
+                )
+                return result.output
         if self.shards > 1:
             from ..cluster.sharded import sharded_join
 
@@ -349,6 +409,43 @@ class QueryExecutor:
     def _run_aggregate(
         self, node: Aggregate, child: Relation, trace: List[OperatorTrace]
     ):
+        if (
+            self.tiering is not None
+            and isinstance(node.child, Scan)
+            and self.tiering.handles(child)
+        ):
+            with self._operator_span(node.describe()) as span:
+                result = self.tiering.run_group_by(
+                    child,
+                    node.group_column,
+                    list(node.aggregates),
+                    session=self._session,
+                    fault_plan=self.fault_plan,
+                    seed=self.seed,
+                )
+            if result is not None:
+                description = (
+                    f"Aggregate[TIER hot:{result.hot_segments}"
+                    f"/cold:{result.cold_segments}]"
+                )
+                if span is not None:
+                    span.name = description
+                    span.args.update(
+                        rows=result.rows,
+                        algorithm=result.algorithm,
+                        hot_segments=result.hot_segments,
+                        cold_segments=result.cold_segments,
+                    )
+                trace.append(
+                    OperatorTrace(
+                        description,
+                        result.seconds,
+                        result.rows,
+                        extras=dict(result.extras),
+                        algorithm=result.algorithm,
+                    )
+                )
+                return result.output
         keys = child.column(node.group_column)
         values = {
             spec.column: child.column(spec.column)
@@ -566,6 +663,7 @@ def execute(
     shards: int = 1,
     interconnect="nvlink-mesh",
     fault_plan=None,
+    tiering=None,
 ) -> QueryResult:
     """One-shot convenience around :class:`QueryExecutor`.
 
@@ -573,9 +671,11 @@ def execute(
     simulated N-device cluster over *interconnect* (a name or an
     :class:`~repro.cluster.topology.InterconnectSpec`);
     ``fault_plan=`` injects a :class:`~repro.faults.FaultPlan` and
-    recovers via retries and graceful degradation.
+    recovers via retries and graceful degradation; ``tiering=`` splits
+    eligible operators across a :class:`~repro.tier.TieredRuntime`'s
+    GPU/CPU tiers.
     """
     return QueryExecutor(
         device=device, config=config, seed=seed, shards=shards,
-        interconnect=interconnect, fault_plan=fault_plan,
+        interconnect=interconnect, fault_plan=fault_plan, tiering=tiering,
     ).execute(plan, optimize=optimize)

@@ -58,6 +58,12 @@ class BrownoutPolicy:
     #: Arrivals with priority <= this are rejected at the door while
     #: shedding; higher-priority work is still queued.
     shed_priority_max: int = 0
+    #: Fraction of the tier cache's resident bytes demoted to the CPU
+    #: tier on each escalation into DEGRADED or SHED (when the server
+    #: has a tiering runtime attached).  Demotion happens *before*
+    #: queued work is shed: giving back cache bytes is cheaper than
+    #: rejecting queries.
+    cache_demote_fraction: float = 0.5
 
     def __post_init__(self) -> None:
         for enter, exit_, name in (
@@ -79,6 +85,11 @@ class BrownoutPolicy:
         if not 0.0 < self.shed_fraction <= 1.0:
             raise ServeConfigError(
                 f"shed_fraction must be in (0, 1], got {self.shed_fraction}"
+            )
+        if not 0.0 <= self.cache_demote_fraction <= 1.0:
+            raise ServeConfigError(
+                f"cache_demote_fraction must be in [0, 1], "
+                f"got {self.cache_demote_fraction}"
             )
 
 

@@ -305,7 +305,16 @@ class QueryServer:
         Debug oracle: before populating the result cache, re-execute
         the plan on a clean executor and assert the output is
         bit-identical (the cache-poisoning guard).  Defaults to the
-        ``REPRO_SERVE_VERIFY_CACHE`` environment variable.
+        ``REPRO_SERVE_VERIFY_CACHE`` environment variable.  With
+        tiering, the reference executor runs on a cold fork of the
+        runtime — the placement-independence oracle.
+    tiering:
+        ``True`` attaches a :class:`~repro.tier.TieredRuntime` sharing
+        this server's device memory (segments compete with admission
+        reservations); a pre-built runtime is used as-is.  Submissions
+        feed the placement policy's popularity stats, admission demotes
+        cache segments before blocking on memory, and brownout
+        escalation demotes the cache before shedding queued work.
 
     >>> import numpy as np
     >>> from repro.query.plan import Scan, Join
@@ -347,9 +356,14 @@ class QueryServer:
         brownout=None,
         default_deadline_s: Optional[float] = None,
         verify_cache_inserts: Optional[bool] = None,
+        tiering=None,
     ):
         if queue_depth < 0:
             raise ServeConfigError(f"queue_depth must be >= 0, got {queue_depth}")
+        if tiering is not None and tiering is not False and shards > 1:
+            raise ServeConfigError(
+                f"tiering is incompatible with shards > 1 (got shards={shards})"
+            )
         if mem_overhead < 1.0:
             raise ServeConfigError(
                 f"mem_overhead must be >= 1 (inputs are resident), "
@@ -371,6 +385,15 @@ class QueryServer:
         )
         self.scheduler = StreamScheduler(streams, interference=interference)
         self.memory = DeviceMemory(capacity_bytes=device.global_mem_bytes)
+        # ``tiering=True`` builds a TieredRuntime over the server's own
+        # DeviceMemory, so segment residency competes with admission
+        # reservations for the same simulated bytes; a pre-built
+        # TieredRuntime is used as-is (it may own a private memory).
+        if tiering is True:
+            from ..tier import TieredRuntime
+
+            tiering = TieredRuntime(device=device, memory=self.memory)
+        self.tiering = tiering or None
         self.plan_cache = PlanCache(max_entries=plan_cache_entries)
         self.result_cache = ResultCache(max_bytes=result_cache_bytes)
         self.enable_plan_cache = enable_plan_cache
@@ -425,6 +448,10 @@ class QueryServer:
         self._catalog[name] = relation
         self._names_by_id[id(relation)] = name
         self._fingerprint(relation)
+        if self.tiering is not None:
+            # Segment eagerly under the catalog name so tier counters,
+            # popularity and placement spans read in catalog terms.
+            self.tiering.register(relation, name=name)
         return relation
 
     def update(self, name: str, relation: Relation) -> int:
@@ -443,6 +470,13 @@ class QueryServer:
         self._fingerprint(relation)
         invalidated = self.plan_cache.invalidate(name)
         invalidated += self.result_cache.invalidate(name)
+        if self.tiering is not None:
+            # Resident segments of the replaced relation are stale copies;
+            # evict them and drop the old version's placement history.
+            freed = self.tiering.invalidate_relation(old)
+            if freed:
+                self._count("serve.tier_invalidated_bytes", freed)
+            self.tiering.register(relation, name=name)
         self._count("serve.invalidated_entries", invalidated)
         return invalidated
 
@@ -592,6 +626,11 @@ class QueryServer:
         self._tenant_state(tenant).submitted += 1
         heapq.heappush(self._arrivals, (arrival, request.query_id, request))
         self._count("serve.submitted")
+        if self.tiering is not None:
+            # Popularity feed: the placement policy sees the workload's
+            # template mix (the driver's Zipf skew) at submission time,
+            # before any of the query's segments are accessed.
+            self.tiering.note_plan(plan)
         return request.query_id
 
     def close(self, cancel_queued: bool = False) -> None:
@@ -855,9 +894,7 @@ class QueryServer:
                     self._count("serve.quota_deferrals")
                     continue
                 try:
-                    reservation = self.memory.reserve(
-                        estimate, label=f"query-{request.query_id}"
-                    )
+                    reservation = self._reserve_demoting(request, estimate)
                 except DeviceOutOfMemoryError:
                     if not self.scheduler.busy:
                         # Nothing holds memory yet the head still cannot
@@ -874,6 +911,32 @@ class QueryServer:
                 break
             if not admitted:
                 return  # every candidate is quota-capped
+
+    def _reserve_demoting(
+        self, request: QueryRequest, estimate: int
+    ) -> MemoryReservation:
+        """Reserve admission bytes, demoting tier-cache segments first.
+
+        With tiering sharing the server's device memory, resident
+        segments are *discretionary* bytes: before an admission
+        reservation blocks (or an idle-server candidate is rejected as
+        oversized), the cache gives bytes back — queries beat cached
+        segments, which merely fall to the CPU tier.
+        """
+        try:
+            return self.memory.reserve(estimate, label=f"query-{request.query_id}")
+        except DeviceOutOfMemoryError:
+            if self.tiering is None or self.tiering.cache.memory is not self.memory:
+                raise
+            cache = self.tiering.cache
+            capacity = self.memory.capacity_bytes or 0
+            shortfall = estimate - max(0, capacity - self.memory.current_bytes)
+            if shortfall <= 0 or cache.resident_bytes == 0:
+                raise
+            freed = cache.demote_bytes(shortfall, policy=self.tiering.policy)
+            if freed:
+                self._count("serve.tier_admission_demoted_bytes", freed)
+            return self.memory.reserve(estimate, label=f"query-{request.query_id}")
 
     # -- brownout ----------------------------------------------------------
 
@@ -897,6 +960,20 @@ class QueryServer:
         if level != before:
             self._count("serve.brownout_transitions")
             self._count(f"serve.brownout_to_{LEVEL_NAMES[level]}")
+            if level > before and self.tiering is not None:
+                # Escalation gives back cache bytes before any queued
+                # work is shed — demoted segments just run on the CPU
+                # tier, which beats rejecting queries outright.
+                cache = self.tiering.cache
+                target = int(
+                    cache.resident_bytes * ctl.policy.cache_demote_fraction
+                )
+                if target > 0:
+                    freed = cache.demote_bytes(
+                        target, policy=self.tiering.policy
+                    )
+                    if freed:
+                        self._count("serve.brownout_cache_demoted_bytes", freed)
             if self.session is not None:
                 with self.session.span(
                     f"brownout:{LEVEL_NAMES[before]}->{LEVEL_NAMES[level]}",
@@ -1028,6 +1105,7 @@ class QueryServer:
             interconnect=self.interconnect,
             fault_plan=fault_plan,
             enable_fusion=not degrade,
+            tiering=self.tiering,
             join_output_hook=(
                 (lambda node, rel: captured.append((node, rel)))
                 if populate_ok and self.enable_result_cache
@@ -1078,7 +1156,11 @@ class QueryServer:
                             request.plan,
                             result.trace,
                             optimize=request.optimize,
-                            fused=request.optimize and self.shards == 1,
+                            # Tiering (like sharding) runs Aggregate-over-
+                            # Join unfused, so the trace has two entries.
+                            fused=request.optimize
+                            and self.shards == 1
+                            and self.tiering is None,
                         ),
                         pinned_from=request.plan.describe(),
                     ),
@@ -1131,12 +1213,17 @@ class QueryServer:
         """
         if not self.verify_cache_inserts:
             return
+        # With tiering, the reference runs on a *cold fork* of the
+        # runtime (same segmentation, empty cache): tiered outputs are
+        # placement-independent by construction, so any mismatch is
+        # corruption, not ordering.
         reference = QueryExecutor(
             device=self.device,
             config=self.config,
             seed=self.seed,
             shards=self.shards,
             interconnect=self.interconnect,
+            tiering=None if self.tiering is None else self.tiering.fork_cold(),
         ).execute(request.plan, optimize=request.optimize)
         if not _bit_identical(output, reference.output):
             raise AssertionError(

@@ -1,0 +1,69 @@
+"""Cost model for tier placement and the CPU sub-operator.
+
+Reuses the calibrated :class:`~repro.gpusim.costmodel.CostModel` for
+both device specs, so the CPU tier's charges are on exactly the same
+footing as the existing out-of-core paths: streaming traffic at the
+device's memory bandwidth, per-item instruction cost, and host<->device
+staging at ``interconnect_bandwidth`` — the identical formula
+``OutOfCoreJoin`` charges through ``KernelStats.host_transfer_bytes``
+(pinned by the calibration test in ``tests/tier/test_costmodel.py``).
+"""
+
+from __future__ import annotations
+
+from ..gpusim.costmodel import CostModel
+from ..gpusim.device import CPU_SERVER, DeviceSpec
+from ..gpusim.kernel import KernelStats
+
+
+class TierCostModel:
+    """Per-byte estimates guiding placement across the two tiers."""
+
+    def __init__(self, gpu: DeviceSpec, cpu: DeviceSpec = CPU_SERVER):
+        self.gpu = gpu
+        self.cpu = cpu
+        self.gpu_cost = CostModel(gpu)
+        self.cpu_cost = CostModel(cpu)
+
+    def transfer_seconds(self, nbytes: int) -> float:
+        """Host->device staging time — the admission price of a segment."""
+        return self.gpu_cost.time(
+            KernelStats(name="tier_transfer", launches=0, host_transfer_bytes=int(nbytes))
+        )
+
+    def gpu_scan_seconds(self, nbytes: int, items: int = 0) -> float:
+        """Streaming a resident segment through a GPU kernel."""
+        return self.gpu_cost.time(
+            KernelStats(
+                name="tier_gpu_scan", launches=0,
+                seq_read_bytes=int(nbytes), items=int(items),
+            )
+        )
+
+    def cpu_scan_seconds(self, nbytes: int, items: int = 0) -> float:
+        """Streaming a cold segment through the CPU tier."""
+        return self.cpu_cost.time(
+            KernelStats(
+                name="tier_cpu_scan", launches=0,
+                seq_read_bytes=int(nbytes), items=int(items),
+            )
+        )
+
+    def benefit_per_byte(self) -> float:
+        """Seconds saved per resident byte per access (CPU minus GPU).
+
+        Positive on every sane device pair; a device pair where the CPU
+        streams faster than the GPU would make all placements worthless,
+        and the policy would correctly admit nothing.
+        """
+        probe = 1 << 20
+        cpu = self.cpu_scan_seconds(probe, items=probe // 4)
+        gpu = self.gpu_scan_seconds(probe, items=probe // 4)
+        return max(0.0, (cpu - gpu) / probe)
+
+    def accesses_to_amortize(self, nbytes: int) -> float:
+        """Accesses needed before admission pays for its transfer."""
+        benefit = self.benefit_per_byte() * max(1, int(nbytes))
+        if benefit <= 0:
+            return float("inf")
+        return self.transfer_seconds(nbytes) / benefit

@@ -1,0 +1,104 @@
+"""Fixed-size column segments over relations.
+
+The tiering layer (Mordred-style; see SNIPPETS.md snippet 2) manages
+device residency at the granularity of *column segments*: each column of
+a relation is split into fixed-size runs of ``segment_rows`` rows, and
+placement decisions are taken per ``(relation, column, segment)`` key.
+A row range is *hot* for an operator only when **all** the columns that
+operator reads are resident for that range — the same rule Mordred's
+``segment_group`` bitmap encodes — so the executor can split one
+operator into a GPU part over hot ranges and a CPU part over cold ones
+without ever mixing tiers inside a row.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, NamedTuple, Sequence, Tuple
+
+import numpy as np
+
+from ..relational.relation import Relation
+
+
+class SegmentKey(NamedTuple):
+    """Identity of one column segment: ``(relation, column, index)``."""
+
+    relation: str
+    column: str
+    index: int
+
+    def describe(self) -> str:
+        return f"{self.relation}.{self.column}[{self.index}]"
+
+
+class SegmentedRelation:
+    """A relation viewed as fixed-size column segments.
+
+    Purely a view: the backing :class:`~repro.relational.relation.Relation`
+    stays the host-side source of truth; the cache copies segment slices
+    onto the simulated device when the placement policy admits them.
+    """
+
+    def __init__(self, relation: Relation, segment_rows: int, name: str = ""):
+        if segment_rows <= 0:
+            raise ValueError(f"segment_rows must be positive, got {segment_rows}")
+        self.relation = relation
+        self.segment_rows = int(segment_rows)
+        self.name = name or relation.name or f"relation@{id(relation):x}"
+
+    @property
+    def num_rows(self) -> int:
+        return self.relation.num_rows
+
+    @property
+    def num_segments(self) -> int:
+        rows = self.relation.num_rows
+        if rows == 0:
+            return 0
+        return -(-rows // self.segment_rows)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.relation.total_bytes
+
+    def row_range(self, index: int) -> Tuple[int, int]:
+        """Half-open row range ``[start, stop)`` of segment *index*."""
+        if not 0 <= index < self.num_segments:
+            raise IndexError(
+                f"segment {index} out of range for {self.name!r} "
+                f"({self.num_segments} segments)"
+            )
+        start = index * self.segment_rows
+        return start, min(start + self.segment_rows, self.relation.num_rows)
+
+    def segment_key(self, column: str, index: int) -> SegmentKey:
+        return SegmentKey(self.name, column, index)
+
+    def column_slice(self, column: str, index: int) -> np.ndarray:
+        """The host-side data of one column segment (a view, no copy)."""
+        start, stop = self.row_range(index)
+        return self.relation.column(column)[start:stop]
+
+    def segment_nbytes(self, column: str, index: int) -> int:
+        start, stop = self.row_range(index)
+        return (stop - start) * int(self.relation.column(column).dtype.itemsize)
+
+    def range_nbytes(self, columns: Sequence[str], index: int) -> int:
+        """Bytes of one row range across *columns*."""
+        return sum(self.segment_nbytes(column, index) for column in columns)
+
+    def keys_for(self, columns: Sequence[str], index: int) -> List[SegmentKey]:
+        """Segment keys an operator reading *columns* needs for range *index*."""
+        return [self.segment_key(column, index) for column in columns]
+
+    def iter_keys(self, columns: Sequence[str]) -> Iterable[SegmentKey]:
+        """All segment keys of *columns*, segment-major."""
+        for index in range(self.num_segments):
+            for column in columns:
+                yield self.segment_key(column, index)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SegmentedRelation({self.name!r}, {self.num_segments} segments "
+            f"x {self.segment_rows} rows)"
+        )

@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 
 from repro.relational import Relation, reference_groupby, reference_join
 from repro.relational.validation import assert_join_equal, join_match_indices
+from repro.primitives.grouping import group_identify
 
 
 def _brute_force_pairs(r_keys, s_keys):
@@ -123,3 +124,35 @@ class TestReferenceGroupby:
             expected[k] = expected.get(k, 0) + v
         got = dict(zip(out["group_key"].tolist(), out["sum_v"].tolist()))
         assert got == expected
+
+
+class TestGroupIdentifyEquivalence:
+    """reference_groupby's sort-based key identification must be a
+    drop-in for ``np.unique(keys, return_inverse=True)`` — identical
+    group keys AND identical inverse mapping, for any dtype/ordering."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.integers(-(1 << 40), 1 << 40), min_size=0, max_size=200),
+        st.sampled_from(["int64", "int32"]),
+    )
+    def test_matches_np_unique_return_inverse(self, values, dtype):
+        if dtype == "int32":
+            values = [v % (1 << 31) for v in values]
+        keys = np.asarray(values, dtype=dtype)
+        got_keys, got_inverse = group_identify(keys)
+        exp_keys, exp_inverse = np.unique(keys, return_inverse=True)
+        np.testing.assert_array_equal(got_keys, exp_keys)
+        np.testing.assert_array_equal(
+            np.asarray(got_inverse).ravel(), np.asarray(exp_inverse).ravel()
+        )
+
+    def test_high_cardinality_permutation(self):
+        rng = np.random.default_rng(9)
+        keys = rng.permutation(np.arange(50_000, dtype=np.int64))
+        got_keys, got_inverse = group_identify(keys)
+        exp_keys, exp_inverse = np.unique(keys, return_inverse=True)
+        np.testing.assert_array_equal(got_keys, exp_keys)
+        np.testing.assert_array_equal(got_inverse, np.asarray(exp_inverse).ravel())
+        # round trip: keys reconstruct exactly
+        np.testing.assert_array_equal(got_keys[got_inverse], keys)

@@ -1,0 +1,70 @@
+"""Tier cost model calibration against the existing out-of-core paths.
+
+The CPU tier must not invent new physics: its charges ride the same
+:class:`~repro.gpusim.costmodel.CostModel` formulas as everything else,
+and the admission-transfer price is *exactly* the kernel shape
+``OutOfCoreJoin`` charges for host<->device staging
+(``KernelStats(host_transfer_bytes=n, launches=0)``).
+"""
+
+import pytest
+
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.device import A100, CPU_SERVER
+from repro.gpusim.kernel import KernelStats
+from repro.tier import TierCostModel
+
+
+@pytest.fixture
+def model():
+    return TierCostModel(A100, CPU_SERVER)
+
+
+def test_transfer_matches_out_of_core_staging_kernel(model):
+    """Pin: admission transfer == the OOC chunk-staging charge."""
+    n = 64 << 20
+    ooc_shape = KernelStats(name="ooc_stage", host_transfer_bytes=n, launches=0)
+    assert model.transfer_seconds(n) == CostModel(A100).time(ooc_shape)
+
+
+def test_transfer_closed_form(model):
+    n = 1 << 30
+    assert model.transfer_seconds(n) == pytest.approx(
+        n / A100.interconnect_bandwidth
+    )
+
+
+def test_gpu_streams_faster_than_cpu(model):
+    n = 256 << 20
+    assert model.gpu_scan_seconds(n, items=n // 8) < model.cpu_scan_seconds(
+        n, items=n // 8
+    )
+
+
+def test_scan_costs_match_plain_cost_model(model):
+    n = 32 << 20
+    stats = KernelStats(
+        name="tier_cpu_scan", launches=0, seq_read_bytes=n, items=n // 4
+    )
+    assert model.cpu_scan_seconds(n, items=n // 4) == CostModel(CPU_SERVER).time(
+        stats
+    )
+
+
+def test_benefit_per_byte_positive_for_real_device_pair(model):
+    assert model.benefit_per_byte() > 0
+
+
+def test_accesses_to_amortize_is_scale_free(model):
+    """Transfer and benefit are both linear in bytes, so the amortization
+    point is a device-pair constant — placement can reason per access."""
+    a = model.accesses_to_amortize(1 << 20)
+    b = model.accesses_to_amortize(1 << 28)
+    assert a == pytest.approx(b)
+    assert a > 1.0  # admission is never free on PCIe-class links
+
+
+def test_degenerate_pair_declines_everything():
+    model = TierCostModel(CPU_SERVER, CPU_SERVER)
+    assert model.benefit_per_byte() == 0.0
+    assert model.accesses_to_amortize(1 << 20) == float("inf")

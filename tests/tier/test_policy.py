@@ -1,0 +1,98 @@
+"""Placement policy: decayed scoring, popularity feed, hysteresis."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.tier import PlacementPolicy, SegmentKey
+
+K = lambda i, col="c", rel="R": SegmentKey(rel, col, i)  # noqa: E731
+
+
+def test_access_decay_across_ticks():
+    policy = PlacementPolicy(access_decay=0.5)
+    policy.note_access(K(0))
+    assert policy.effective_accesses(K(0)) == 1.0
+    policy.begin_pass()
+    policy.begin_pass()
+    assert policy.effective_accesses(K(0)) == pytest.approx(0.25)
+    policy.note_access(K(0))
+    assert policy.effective_accesses(K(0)) == pytest.approx(1.25)
+
+
+def test_popularity_ema_scales_scores():
+    policy = PlacementPolicy()
+    policy.note_access(K(0, rel="hotrel"))
+    policy.note_access(K(0, rel="coldrel"))
+    for _ in range(10):
+        policy.note_popularity("hotrel")
+    assert policy.popularity("hotrel") > policy.popularity("coldrel") == 1.0
+    assert policy.score(K(0, rel="hotrel"), 100) > policy.score(
+        K(0, rel="coldrel"), 100
+    )
+
+
+def test_score_normalizes_by_bytes():
+    policy = PlacementPolicy()
+    policy.note_access(K(0))
+    policy.note_access(K(1))
+    assert policy.score(K(0), 100) > policy.score(K(1), 1000)
+
+
+def test_choose_victims_prefers_cheapest_and_respects_needed_bytes():
+    policy = PlacementPolicy(min_residency_ticks=0, hysteresis=1.0)
+    for i, weight in [(0, 1.0), (1, 5.0), (2, 10.0)]:
+        for _ in range(int(weight)):
+            policy.note_access(K(i))
+    resident = [(K(0), 100), (K(1), 100), (K(2), 100)]
+    victims = policy.choose_victims(150, candidate_score=1e9, resident=resident)
+    assert victims == [K(0), K(1)]  # cheapest first, stop at needed bytes
+
+
+def test_choose_victims_declines_rather_than_evict_better_segments():
+    policy = PlacementPolicy(min_residency_ticks=0, hysteresis=1.0)
+    for _ in range(10):
+        policy.note_access(K(0))
+    resident = [(K(0), 100)]
+    weak_candidate_score = policy.score(K(0), 100) / 2
+    assert policy.choose_victims(50, weak_candidate_score, resident) is None
+
+
+def test_hysteresis_protects_marginally_worse_segments():
+    policy = PlacementPolicy(min_residency_ticks=0, hysteresis=2.0)
+    policy.note_access(K(0))
+    resident = [(K(0), 100)]
+    slightly_better = policy.score(K(0), 100) * 1.5  # < 2x: within the band
+    assert policy.choose_victims(50, slightly_better, resident) is None
+    clearly_better = policy.score(K(0), 100) * 3.0
+    assert policy.choose_victims(50, clearly_better, resident) == [K(0)]
+
+
+def test_min_residency_ticks_shields_recent_admissions():
+    policy = PlacementPolicy(min_residency_ticks=2, hysteresis=1.0)
+    policy.begin_pass()
+    policy.note_admitted(K(0))
+    assert policy.choose_victims(50, 1e9, [(K(0), 100)]) is None
+    policy.begin_pass()
+    policy.begin_pass()
+    assert policy.choose_victims(50, 1e9, [(K(0), 100)]) == [K(0)]
+
+
+def test_protected_keys_are_never_victims():
+    policy = PlacementPolicy(min_residency_ticks=0)
+    assert (
+        policy.choose_victims(50, 1e9, [(K(0), 100)], protect={K(0)}) is None
+    )
+
+
+def test_forget_drops_relation_state():
+    policy = PlacementPolicy()
+    policy.note_access(K(0, rel="gone"))
+    policy.note_popularity("gone")
+    policy.forget("gone")
+    assert policy.effective_accesses(K(0, rel="gone")) == 0.0
+    assert policy.popularity("gone") == 1.0
+
+
+def test_invalid_hysteresis_rejected():
+    with pytest.raises((ValueError, ReproError)):
+        PlacementPolicy(hysteresis=0.5)
